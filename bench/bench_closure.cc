@@ -1,0 +1,118 @@
+// E3 — Thm 3.6(3)/(4): closure size is Θ(|G|²) in the worst case, and
+// closure membership is decidable in near-linear time without
+// materializing.
+//
+// Series reported:
+//   * ScChainClosure/n        — sc-chain: |cl| counter shows the
+//                               quadratic growth of Thm 3.6(3).
+//   * SpUsesClosure/n         — sp-chain with uses: |cl| ≈ n·uses.
+//   * SchemaClosure/n         — realistic schema workloads: closer to
+//                               linear.
+//   * MembershipDirect/n      — one membership query via the direct
+//                               ClosureMembership procedure: ~O(|G|).
+//   * MembershipMaterialize/n — the naive alternative: materialize the
+//                               full closure, then look up.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/generators.h"
+#include "inference/closure.h"
+#include "util/rng.h"
+#include "util/str.h"
+
+namespace swdb {
+namespace {
+
+void BM_ScChainClosure(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Graph g = ScChain(n, &dict);
+  size_t closure_size = 0;
+  for (auto _ : state) {
+    Graph cl = RdfsClosure(g);
+    closure_size = cl.size();
+    benchmark::DoNotOptimize(cl);
+  }
+  state.counters["|G|"] = static_cast<double>(g.size());
+  state.counters["|cl|"] = static_cast<double>(closure_size);
+  state.counters["ratio"] =
+      static_cast<double>(closure_size) / static_cast<double>(g.size());
+}
+BENCHMARK(BM_ScChainClosure)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SpUsesClosure(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Graph g = SpChainWithUses(n, n, &dict);
+  size_t closure_size = 0;
+  for (auto _ : state) {
+    Graph cl = RdfsClosure(g);
+    closure_size = cl.size();
+    benchmark::DoNotOptimize(cl);
+  }
+  state.counters["|G|"] = static_cast<double>(g.size());
+  state.counters["|cl|"] = static_cast<double>(closure_size);
+}
+BENCHMARK(BM_SpUsesClosure)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SchemaClosure(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Rng rng(13);
+  SchemaWorkloadSpec spec;
+  spec.num_classes = n / 5;
+  spec.num_properties = n / 10 + 1;
+  spec.num_instances = n;
+  spec.num_facts = 2 * n;
+  Graph g = SchemaWorkload(spec, &dict, &rng);
+  size_t closure_size = 0;
+  for (auto _ : state) {
+    Graph cl = RdfsClosure(g);
+    closure_size = cl.size();
+    benchmark::DoNotOptimize(cl);
+  }
+  state.counters["|G|"] = static_cast<double>(g.size());
+  state.counters["|cl|"] = static_cast<double>(closure_size);
+}
+BENCHMARK(BM_SchemaClosure)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Arg(800);
+
+void BM_MembershipDirect(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Graph g = ScChain(n, &dict);
+  Term first = dict.Iri("urn:c0");
+  Term last = dict.Iri(NumberedName("urn:c", n));
+  Triple query(first, vocab::kSc, last);  // longest derivation
+  for (auto _ : state) {
+    // Setup + one query, the Thm 3.6(4) regime (no materialization).
+    ClosureMembership membership(g);
+    benchmark::DoNotOptimize(membership.Contains(query));
+  }
+  state.counters["|G|"] = static_cast<double>(g.size());
+}
+BENCHMARK(BM_MembershipDirect)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096);
+
+void BM_MembershipMaterialize(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Graph g = ScChain(n, &dict);
+  Term first = dict.Iri("urn:c0");
+  Term last = dict.Iri(NumberedName("urn:c", n));
+  Triple query(first, vocab::kSc, last);
+  for (auto _ : state) {
+    Graph cl = RdfsClosure(g);
+    benchmark::DoNotOptimize(cl.Contains(query));
+  }
+  state.counters["|G|"] = static_cast<double>(g.size());
+}
+BENCHMARK(BM_MembershipMaterialize)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+}  // namespace
+}  // namespace swdb
+
+BENCHMARK_MAIN();

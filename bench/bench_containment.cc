@@ -1,0 +1,129 @@
+// E7 — Thm 5.6: both containment notions are NP-complete for
+// premise-free queries; the characterizations of Thm 5.5 decide them
+// with one homomorphism search (⊑p) or an enumeration (⊑m).
+//
+// Series reported:
+//   * StandardPositive/k   — chain-into-generalization pairs: the
+//                            witnessing θ is found fast.
+//   * StandardNegative/k   — clique-pattern pairs with no θ: the
+//                            exhaustive refutation grows with k.
+//   * EntailmentBased/k    — ⊑m on the same positives: enumerates all θ
+//                            and one entailment test.
+//   * WithRdfsBody/n       — bodies with sc-chains: nf(B) computation
+//                            dominates.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/generators.h"
+#include "query/containment.h"
+#include "util/rng.h"
+#include "util/str.h"
+
+namespace swdb {
+namespace {
+
+// q: chain of k concrete-ish triples; q': same chain fully generalized.
+std::pair<Query, Query> ChainPair(uint32_t k, Dictionary* dict) {
+  Query q;
+  Term p = dict->Iri("p");
+  for (uint32_t i = 0; i < k; ++i) {
+    q.body.Insert(dict->Iri(NumberedName("n", i)), p,
+                  dict->Var(NumberedName("v", i)));
+  }
+  q.head = q.body;
+  Query q_prime;
+  for (uint32_t i = 0; i < k; ++i) {
+    q_prime.body.Insert(dict->Var(NumberedName("s", i)), p,
+                        dict->Var(NumberedName("v", i)));
+  }
+  q_prime.head = q_prime.body;
+  return {q, q_prime};
+}
+
+void BM_StandardPositive(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  auto [q, q_prime] = ChainPair(k, &dict);
+  for (auto _ : state) {
+    Result<bool> r = ContainedStandard(q, q_prime, &dict);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["|B|"] = k;
+}
+BENCHMARK(BM_StandardPositive)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_StandardNegative(benchmark::State& state) {
+  // q: an k-clique over distinct constants; q': a (k+1)-clique of
+  // variables — θ(B') ⊆ nf(B) forces a (k+1)-clique into k nodes with
+  // no self-loops: exhaustive refutation.
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Term p = dict.Iri("p");
+  Query q;
+  for (uint32_t i = 0; i < k; ++i) {
+    for (uint32_t j = 0; j < k; ++j) {
+      if (i != j) {
+        q.body.Insert(dict.Iri(NumberedName("n", i)), p,
+                      dict.Iri(NumberedName("n", j)));
+      }
+    }
+  }
+  q.head = Graph{Triple(dict.Iri("n0"), p, dict.Iri("n1"))};
+  Query q_prime;
+  for (uint32_t i = 0; i <= k; ++i) {
+    for (uint32_t j = 0; j <= k; ++j) {
+      if (i != j) {
+        q_prime.body.Insert(dict.Var(NumberedName("x", i)), p,
+                            dict.Var(NumberedName("x", j)));
+      }
+    }
+  }
+  q_prime.head = Graph{Triple(dict.Var("x0"), p, dict.Var("x1"))};
+  for (auto _ : state) {
+    Result<bool> r = ContainedStandard(q, q_prime, &dict);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["k"] = k;
+}
+BENCHMARK(BM_StandardNegative)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_EntailmentBased(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  auto [q, q_prime] = ChainPair(k, &dict);
+  for (auto _ : state) {
+    Result<bool> r = ContainedEntailment(q, q_prime, &dict);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["|B|"] = k;
+}
+BENCHMARK(BM_EntailmentBased)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_WithRdfsBody(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  // q's body: an sc-chain of length n plus endpoints query.
+  Query q;
+  for (uint32_t i = 0; i < n; ++i) {
+    q.body.Insert(dict.Iri(NumberedName("c", i)), vocab::kSc,
+                  dict.Iri(NumberedName("c", i + 1)));
+  }
+  q.body.Insert(dict.Var("X"), vocab::kType, dict.Iri("c0"));
+  q.head = Graph{Triple(dict.Var("X"), vocab::kType, dict.Iri("c0"))};
+  // q': instances of the top class (entailed through the chain).
+  Query q_prime;
+  q_prime.body.Insert(dict.Var("X"), vocab::kType,
+                      dict.Iri(NumberedName("c", n)));
+  q_prime.head = q_prime.body;
+  for (auto _ : state) {
+    Result<bool> r = ContainedEntailment(q, q_prime, &dict);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["chain"] = n;
+}
+BENCHMARK(BM_WithRdfsBody)->Arg(4)->Arg(16)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace swdb
+
+BENCHMARK_MAIN();

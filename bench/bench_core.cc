@@ -1,0 +1,131 @@
+// E4 — Thm 3.12: leanness testing is coNP-complete and core
+// computation is hard; but structured instances stay tractable.
+//
+// Series reported:
+//   * LeanBlankTree/n       — blank trees (no blank cycles): fast.
+//   * LeanWithRedundancy/n  — graphs with folding opportunities.
+//   * CoreRedundant/n       — core computation, n redundant blanks.
+//   * CoreEncodedCycle/n    — enc(C_{2n}) ∪ enc(K2): the graph-core
+//                             gadget of the Thm 3.12 reduction — the
+//                             even cycle folds onto the edge.
+//   * LeanCliqueGadget/k    — enc(K_k) plus a pendant blank: the
+//                             exponential shape.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/generators.h"
+#include "graphtheory/digraph.h"
+#include "normal/core.h"
+#include "util/rng.h"
+#include "util/str.h"
+
+namespace swdb {
+namespace {
+
+Graph BlankTree(uint32_t depth, uint32_t fanout, Term p, Dictionary* dict) {
+  Graph g;
+  std::vector<Term> level{dict->FreshBlank()};
+  for (uint32_t d = 0; d < depth; ++d) {
+    std::vector<Term> next;
+    for (Term parent : level) {
+      for (uint32_t f = 0; f < fanout; ++f) {
+        Term child = dict->FreshBlank();
+        g.Insert(parent, p, child);
+        next.push_back(child);
+      }
+    }
+    level = std::move(next);
+  }
+  return g;
+}
+
+void BM_LeanBlankTree(benchmark::State& state) {
+  const uint32_t depth = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Graph g = BlankTree(depth, 2, dict.Iri("p"), &dict);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsLean(g));
+  }
+  state.counters["|G|"] = static_cast<double>(g.size());
+}
+BENCHMARK(BM_LeanBlankTree)->Arg(2)->Arg(4)->Arg(6)->Arg(7);
+
+void BM_LeanWithRedundancy(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Rng rng(17);
+  Graph g;
+  Term p = dict.Iri("p");
+  // Ground base plus n redundant blank specializations.
+  for (uint32_t i = 0; i < n; ++i) {
+    Term s = dict.Iri(NumberedName("s", i));
+    Term o = dict.Iri(NumberedName("o", i));
+    g.Insert(s, p, o);
+    g.Insert(s, p, dict.FreshBlank());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsLean(g));
+  }
+  state.counters["|G|"] = static_cast<double>(g.size());
+}
+BENCHMARK(BM_LeanWithRedundancy)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_CoreRedundant(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Term p = dict.Iri("p");
+  Graph g;
+  Term hub = dict.Iri("hub");
+  g.Insert(hub, p, dict.Iri("x"));
+  for (uint32_t i = 0; i < n; ++i) {
+    g.Insert(hub, p, dict.FreshBlank());
+  }
+  size_t core_size = 0;
+  for (auto _ : state) {
+    Graph core = Core(g);
+    core_size = core.size();
+    benchmark::DoNotOptimize(core);
+  }
+  state.counters["|G|"] = static_cast<double>(g.size());
+  state.counters["|core|"] = static_cast<double>(core_size);
+}
+BENCHMARK(BM_CoreRedundant)->Arg(4)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_CoreEncodedCycle(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Term e = dict.Iri("e");
+  // Even cycle + K2: core folds the cycle onto the edge.
+  Graph g = EncodeAsRdf(Digraph::SymmetricCycle(2 * n), &dict, e);
+  g.InsertAll(EncodeAsRdf(Digraph::CompleteSymmetric(2), &dict, e));
+  size_t core_size = 0;
+  for (auto _ : state) {
+    Graph core = Core(g);
+    core_size = core.size();
+    benchmark::DoNotOptimize(core);
+  }
+  state.counters["|G|"] = static_cast<double>(g.size());
+  state.counters["|core|"] = static_cast<double>(core_size);
+}
+BENCHMARK(BM_CoreEncodedCycle)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_LeanOddCycleGadget(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Term e = dict.Iri("e");
+  // enc(C_{2n+1}) is lean (odd symmetric cycles are graph cores, the
+  // Hell–Nešetřil gadget behind Thm 3.12), so certifying leanness must
+  // refute a homomorphism for every dropped triple — the coNP shape.
+  Graph g = EncodeAsRdf(Digraph::SymmetricCycle(2 * n + 1), &dict, e);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsLean(g));
+  }
+  state.counters["cycle"] = 2 * n + 1;
+  state.counters["|G|"] = static_cast<double>(g.size());
+}
+BENCHMARK(BM_LeanOddCycleGadget)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+}  // namespace
+}  // namespace swdb
+
+BENCHMARK_MAIN();

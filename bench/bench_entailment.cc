@@ -1,0 +1,111 @@
+// E1 — Thm 2.8(2)/2.9: simple entailment is map existence and is
+// NP-complete in general.
+//
+// Series reported:
+//   * GroundSubset/n      — ground G2 ⊆ G1: containment check, ~linear.
+//   * BlankChainEasy/n    — blank chains: poly despite blanks.
+//   * CliqueIntoSelf/k    — enc(K_k) ⊨ enc(K_k): satisfiable search.
+//   * CliqueRefuted/k     — enc(K_k) ⊨ enc(K_{k+1}): exhaustive refusal,
+//                           the exponential NP-hardness shape.
+//   * OddCycleColoring/n  — enc(K3) ⊨ enc(C_{2n+1}): 3-coloring gadget
+//                           from the Thm 2.9 reduction.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/generators.h"
+#include "graphtheory/digraph.h"
+#include "rdf/hom.h"
+#include "util/rng.h"
+
+namespace swdb {
+namespace {
+
+void BM_GroundSubset(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Rng rng(7);
+  RandomGraphSpec spec;
+  spec.num_nodes = n;
+  spec.num_triples = 4 * n;
+  spec.num_predicates = 4;
+  spec.blank_ratio = 0;
+  Graph g1 = RandomSimpleGraph(spec, &dict, &rng);
+  std::vector<Triple> subset(g1.begin(), g1.begin() + g1.size() / 2);
+  Graph g2(subset);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimpleEntails(g1, g2));
+  }
+  state.counters["|G1|"] = static_cast<double>(g1.size());
+  state.counters["|G2|"] = static_cast<double>(g2.size());
+}
+BENCHMARK(BM_GroundSubset)->Arg(100)->Arg(400)->Arg(1600)->Arg(6400);
+
+void BM_BlankChainEasy(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Term p = dict.Iri("p");
+  Rng rng(11);
+  RandomGraphSpec spec;
+  spec.num_nodes = 50;
+  spec.num_triples = 400;
+  spec.num_predicates = 1;
+  spec.blank_ratio = 0;
+  Graph g1 = RandomSimpleGraph(spec, &dict, &rng);
+  Graph g2 = BlankChain(n, p, &dict);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimpleEntails(g1, g2));
+  }
+  state.counters["chain"] = n;
+}
+BENCHMARK(BM_BlankChainEasy)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CliqueIntoSelf(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Term e = dict.Iri("e");
+  Graph enc_k = EncodeAsRdf(Digraph::CompleteSymmetric(k), &dict, e);
+  Graph enc_k2 = EncodeAsRdf(Digraph::CompleteSymmetric(k), &dict, e);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimpleEntails(enc_k, enc_k2));
+  }
+  state.counters["k"] = k;
+}
+BENCHMARK(BM_CliqueIntoSelf)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_CliqueRefuted(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Term e = dict.Iri("e");
+  Graph target = EncodeAsRdf(Digraph::CompleteSymmetric(k), &dict, e);
+  Graph pattern = EncodeAsRdf(Digraph::CompleteSymmetric(k + 1), &dict, e);
+  MatchOptions options;
+  options.max_steps = 500'000'000;
+  for (auto _ : state) {
+    Result<std::optional<TermMap>> r =
+        FindHomomorphism(pattern, target, options);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["k"] = k;
+}
+BENCHMARK(BM_CliqueRefuted)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_OddCycleColoring(benchmark::State& state) {
+  // enc(K3) ⊨ enc(C_n) iff C_n → K3, true for all n ≥ 3 except nothing —
+  // odd cycles are exactly 3-chromatic, so the search must thread the
+  // whole cycle: work grows with n.
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Term e = dict.Iri("e");
+  Graph target = EncodeAsRdf(Digraph::CompleteSymmetric(3), &dict, e);
+  Graph pattern = EncodeAsRdf(Digraph::SymmetricCycle(2 * n + 1), &dict, e);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimpleEntails(target, pattern));
+  }
+  state.counters["cycle"] = 2 * n + 1;
+}
+BENCHMARK(BM_OddCycleColoring)->Arg(5)->Arg(20)->Arg(80)->Arg(320);
+
+}  // namespace
+}  // namespace swdb
+
+BENCHMARK_MAIN();

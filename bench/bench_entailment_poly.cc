@@ -1,0 +1,87 @@
+// E2 — §2.4: the polynomial regimes of simple entailment.
+//
+// Series reported:
+//   * DataComplexity/n       — fixed G2, growing G1 (Vardi's data
+//                              complexity): polynomial in |G1|.
+//   * AcyclicYannakakis/n    — blank-acyclic G2 via GYO + Yannakakis
+//                              semijoins: polynomial in |G2| too.
+//   * AcyclicBacktracking/n  — same instances through the generic
+//                              backtracking solver, for comparison.
+//   * CyclicFallback/n       — blank cycles: the acyclic method does not
+//                              apply; the generic solver carries it.
+
+#include <benchmark/benchmark.h>
+
+#include "cq/cq.h"
+#include "gen/generators.h"
+#include "rdf/hom.h"
+#include "util/rng.h"
+
+namespace swdb {
+namespace {
+
+Graph MakeData(uint32_t n, Dictionary* dict, uint64_t seed) {
+  Rng rng(seed);
+  RandomGraphSpec spec;
+  spec.num_nodes = n;
+  spec.num_triples = 3 * n;
+  spec.num_predicates = 2;
+  spec.blank_ratio = 0;
+  return RandomSimpleGraph(spec, dict, &rng);
+}
+
+void BM_DataComplexity(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Graph g1 = MakeData(n, &dict, 3);
+  Graph g2 = BlankChain(3, dict.Iri("urn:p0"), &dict);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimpleEntails(g1, g2));
+  }
+  state.counters["|G1|"] = static_cast<double>(g1.size());
+}
+BENCHMARK(BM_DataComplexity)->Arg(50)->Arg(200)->Arg(800)->Arg(3200);
+
+void BM_AcyclicYannakakis(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Graph g1 = MakeData(60, &dict, 5);
+  Graph g2 = BlankChain(n, dict.Iri("urn:p0"), &dict);
+  BooleanCq q = BooleanCq::FromGraph(g2);
+  RelationalDb db = RelationalDb::FromGraph(g1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateAcyclic(q, db));
+  }
+  state.counters["|G2|"] = n;
+}
+BENCHMARK(BM_AcyclicYannakakis)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_AcyclicBacktracking(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Graph g1 = MakeData(60, &dict, 5);
+  Graph g2 = BlankChain(n, dict.Iri("urn:p0"), &dict);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimpleEntails(g1, g2));
+  }
+  state.counters["|G2|"] = n;
+}
+BENCHMARK(BM_AcyclicBacktracking)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_CyclicFallback(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Graph g1 = MakeData(60, &dict, 5);
+  Graph g2 = BlankCycle(n, dict.Iri("urn:p0"), &dict);
+  for (auto _ : state) {
+    bool used_acyclic = false;
+    benchmark::DoNotOptimize(CqSimpleEntails(g1, g2, &used_acyclic));
+  }
+  state.counters["|G2|"] = n;
+}
+BENCHMARK(BM_CyclicFallback)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace swdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// E5 — Thm 3.19/3.20: the normal form nf(G) = core(cl(G)) is unique and
+// syntax independent; deciding it is DP-complete.
+//
+// Series reported:
+//   * NormalFormSchema/n      — nf on schema workloads: cost is
+//                               dominated by the closure.
+//   * NormalFormRedundant/n   — graphs with blank redundancy: the core
+//                               phase pays for each foldable blank.
+//   * SyntaxIndependence/n    — nf of equivalence-preserving mutations:
+//                               the iso-check success rate counter must
+//                               stay at 1.0 (Thm 3.19(2)).
+//   * IsNormalFormOf/n        — the DP decision problem of Thm 3.20.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/generators.h"
+#include "normal/normal_form.h"
+#include "rdf/iso.h"
+#include "util/rng.h"
+#include "util/str.h"
+
+namespace swdb {
+namespace {
+
+Graph MakeSchema(uint32_t n, Dictionary* dict, uint64_t seed) {
+  Rng rng(seed);
+  SchemaWorkloadSpec spec;
+  spec.num_classes = n / 5 + 2;
+  spec.num_properties = n / 8 + 2;
+  spec.num_instances = n;
+  spec.num_facts = 2 * n;
+  spec.blank_instance_ratio = 0.15;
+  return SchemaWorkload(spec, dict, &rng);
+}
+
+void BM_NormalFormSchema(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Graph g = MakeSchema(n, &dict, 23);
+  size_t nf_size = 0;
+  for (auto _ : state) {
+    Graph nf = NormalForm(g);
+    nf_size = nf.size();
+    benchmark::DoNotOptimize(nf);
+  }
+  state.counters["|G|"] = static_cast<double>(g.size());
+  state.counters["|nf|"] = static_cast<double>(nf_size);
+}
+BENCHMARK(BM_NormalFormSchema)->Arg(20)->Arg(40)->Arg(80)->Arg(160);
+
+void BM_NormalFormRedundant(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Term p = dict.Iri("p");
+  Graph g;
+  for (uint32_t i = 0; i < n; ++i) {
+    Term s = dict.Iri(NumberedName("s", i));
+    g.Insert(s, p, dict.Iri(NumberedName("o", i)));
+    g.Insert(s, p, dict.FreshBlank());  // folds away in the core
+  }
+  size_t nf_size = 0;
+  for (auto _ : state) {
+    Graph nf = NormalForm(g);
+    nf_size = nf.size();
+    benchmark::DoNotOptimize(nf);
+  }
+  state.counters["|G|"] = static_cast<double>(g.size());
+  state.counters["|nf|"] = static_cast<double>(nf_size);
+}
+BENCHMARK(BM_NormalFormRedundant)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SyntaxIndependence(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Rng rng(37);
+  Graph g = MakeSchema(n, &dict, 29);
+  Graph nf_g = NormalForm(g);
+  double iso_rate = 0;
+  for (auto _ : state) {
+    Graph mutated = EquivalentMutation(g, 3, &dict, &rng);
+    bool iso = AreIsomorphic(NormalForm(mutated), nf_g);
+    iso_rate += iso ? 1 : 0;
+    benchmark::DoNotOptimize(iso);
+  }
+  state.counters["iso_rate"] =
+      iso_rate / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SyntaxIndependence)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_IsNormalFormOf(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Graph g = MakeSchema(n, &dict, 31);
+  Graph candidate = NormalForm(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsNormalFormOf(candidate, g));
+  }
+  state.counters["|G|"] = static_cast<double>(g.size());
+}
+BENCHMARK(BM_IsNormalFormOf)->Arg(10)->Arg(20)->Arg(40)->Arg(80);
+
+}  // namespace
+}  // namespace swdb
+
+BENCHMARK_MAIN();

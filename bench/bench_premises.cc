@@ -1,0 +1,135 @@
+// E8 — Prop. 5.9 / Thm 5.12: premise elimination turns one query with a
+// premise into up to exponentially many premise-free queries; this is
+// exactly where containment jumps from NP to the Π2P upper bound.
+//
+// Series reported:
+//   * OmegaGrowthPremise/m — |Ωq| as the premise gains m matching facts.
+//   * OmegaGrowthBody/k    — |Ωq| as the body gains k premise-matchable
+//                            triples: the 2^|B| subset enumeration.
+//   * ContainmentWithPremise/k — end-to-end q ⊑p q' with premises on
+//                            both sides.
+//   * AnswerWithPremise/n  — evaluation cost of a premise query vs its
+//                            expansion, over growing databases.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/generators.h"
+#include "query/answer.h"
+#include "query/containment.h"
+#include "query/premise.h"
+#include "util/rng.h"
+#include "util/str.h"
+
+namespace swdb {
+namespace {
+
+void BM_OmegaGrowthPremise(benchmark::State& state) {
+  const uint32_t m = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Query q;
+  Term t = dict.Iri("t");
+  Term s = dict.Iri("s");
+  q.body.Insert(dict.Var("X"), dict.Iri("q"), dict.Var("Y"));
+  q.body.Insert(dict.Var("Y"), t, s);
+  q.head = Graph{Triple(dict.Var("X"), dict.Iri("p"), dict.Var("Y"))};
+  for (uint32_t i = 0; i < m; ++i) {
+    q.premise.Insert(dict.Iri(NumberedName("a", i)), t, s);
+  }
+  size_t omega_size = 0;
+  for (auto _ : state) {
+    Result<std::vector<Query>> omega = EliminatePremise(q);
+    omega_size = omega.ok() ? omega->size() : 0;
+    benchmark::DoNotOptimize(omega);
+  }
+  state.counters["|P|"] = m;
+  state.counters["|Omega|"] = static_cast<double>(omega_size);
+}
+BENCHMARK(BM_OmegaGrowthPremise)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_OmegaGrowthBody(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Query q;
+  Term t = dict.Iri("t");
+  Term s = dict.Iri("s");
+  // k independent premise-matchable triples: every subset R matches.
+  Graph head;
+  for (uint32_t i = 0; i < k; ++i) {
+    Term v = dict.Var(NumberedName("Y", i));
+    q.body.Insert(v, t, s);
+    head.Insert(v, dict.Iri("p"), s);
+  }
+  q.head = head;
+  q.premise.Insert(dict.Iri("a"), t, s);
+  q.premise.Insert(dict.Iri("b"), t, s);
+  size_t omega_size = 0;
+  for (auto _ : state) {
+    Result<std::vector<Query>> omega = EliminatePremise(q);
+    omega_size = omega.ok() ? omega->size() : 0;
+    benchmark::DoNotOptimize(omega);
+  }
+  state.counters["|B|"] = k;
+  state.counters["|Omega|"] = static_cast<double>(omega_size);
+}
+BENCHMARK(BM_OmegaGrowthBody)->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_ContainmentWithPremise(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Term t = dict.Iri("t");
+  Term s = dict.Iri("s");
+  Query q;
+  Graph head;
+  for (uint32_t i = 0; i < k; ++i) {
+    Term v = dict.Var(NumberedName("Y", i));
+    q.body.Insert(v, t, s);
+    head.Insert(v, dict.Iri("p"), s);
+  }
+  q.head = head;
+  q.premise.Insert(dict.Iri("a"), t, s);
+  // q' is the generalization without premise.
+  Query q_prime = q;
+  q_prime.premise = Graph();
+  for (auto _ : state) {
+    Result<bool> r = ContainedStandardSimple(q, q_prime, &dict);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["|B|"] = k;
+}
+BENCHMARK(BM_ContainmentWithPremise)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_AnswerWithPremise(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Rng rng(61);
+  RandomGraphSpec spec;
+  spec.num_nodes = n;
+  spec.num_triples = 3 * n;
+  spec.num_predicates = 2;
+  spec.blank_ratio = 0;
+  Graph db = RandomSimpleGraph(spec, &dict, &rng);
+  Query q;
+  q.body.Insert(dict.Var("X"), dict.Iri("urn:p0"), dict.Var("Y"));
+  q.body.Insert(dict.Var("Y"), dict.Iri("hyp"), dict.Iri("s"));
+  q.head = Graph{Triple(dict.Var("X"), dict.Iri("sel"), dict.Var("Y"))};
+  // Premise declares a handful of nodes as hypothetically marked.
+  for (int i = 0; i < 5; ++i) {
+    q.premise.Insert(dict.Iri(NumberedName("urn:n", i)),
+                     dict.Iri("hyp"), dict.Iri("s"));
+  }
+  QueryEvaluator eval(&dict);
+  size_t answers = 0;
+  for (auto _ : state) {
+    Result<std::vector<Graph>> pre = eval.PreAnswer(q, db);
+    answers = pre.ok() ? pre->size() : 0;
+    benchmark::DoNotOptimize(pre);
+  }
+  state.counters["|D|"] = static_cast<double>(db.size());
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_AnswerWithPremise)->Arg(20)->Arg(40)->Arg(80)->Arg(160);
+
+}  // namespace
+}  // namespace swdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,172 @@
+// E6 — Thm 6.1: query-answer emptiness is NP-complete in the query and
+// polynomial in the data; the answer set is bounded by |D|^|q|.
+//
+// Series reported:
+//   * DataComplexity/n    — fixed 3-triple query, growing database:
+//                           polynomial growth.
+//   * QueryComplexity/k   — fixed database, growing chain query:
+//                           the match count (and work) grows with k.
+//   * StarQuery/k         — star-shaped bodies: answer count approaches
+//                           the |D|^|q| bound; reported as a counter.
+//   * WithRdfsInference/n — answering over nf(D): inference-dominated.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/generators.h"
+#include "query/answer.h"
+#include "util/rng.h"
+#include "util/str.h"
+
+namespace swdb {
+namespace {
+
+Graph MakeDb(uint32_t n, Dictionary* dict, uint64_t seed) {
+  Rng rng(seed);
+  RandomGraphSpec spec;
+  spec.num_nodes = n;
+  spec.num_triples = 3 * n;
+  spec.num_predicates = 3;
+  spec.blank_ratio = 0.1;
+  return RandomSimpleGraph(spec, dict, &rng);
+}
+
+Query ChainQuery(uint32_t k, Term p, Dictionary* dict) {
+  Query q;
+  for (uint32_t i = 0; i < k; ++i) {
+    q.body.Insert(dict->Var(NumberedName("c", i)), p,
+                  dict->Var(NumberedName("c", i + 1)));
+  }
+  q.head = q.body;
+  return q;
+}
+
+Query StarQuery(uint32_t k, Term p, Dictionary* dict) {
+  Query q;
+  Term center = dict->Var("center");
+  for (uint32_t i = 0; i < k; ++i) {
+    q.body.Insert(center, p, dict->Var(NumberedName("leaf", i)));
+  }
+  q.head = q.body;
+  return q;
+}
+
+void BM_DataComplexity(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Graph db = MakeDb(n, &dict, 41);
+  Query q = ChainQuery(3, dict.Iri("urn:p0"), &dict);
+  QueryEvaluator eval(&dict);
+  size_t answers = 0;
+  for (auto _ : state) {
+    Result<std::vector<Graph>> pre = eval.PreAnswer(q, db);
+    answers = pre.ok() ? pre->size() : 0;
+    benchmark::DoNotOptimize(pre);
+  }
+  state.counters["|D|"] = static_cast<double>(db.size());
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_DataComplexity)->Arg(20)->Arg(40)->Arg(80)->Arg(160)->Arg(320);
+
+void BM_QueryComplexity(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Graph db = MakeDb(30, &dict, 43);
+  Query q = ChainQuery(k, dict.Iri("urn:p0"), &dict);
+  QueryEvaluator eval(&dict);
+  size_t answers = 0;
+  for (auto _ : state) {
+    Result<std::vector<Graph>> pre = eval.PreAnswer(q, db);
+    answers = pre.ok() ? pre->size() : 0;
+    benchmark::DoNotOptimize(pre);
+  }
+  state.counters["|q|"] = k;
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_QueryComplexity)->Arg(1)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_StarQuery(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Graph db = MakeDb(12, &dict, 47);
+  Query q = StarQuery(k, dict.Iri("urn:p0"), &dict);
+  QueryEvaluator eval(&dict);
+  size_t answers = 0;
+  for (auto _ : state) {
+    Result<std::vector<Graph>> pre = eval.PreAnswer(q, db);
+    answers = pre.ok() ? pre->size() : 0;
+    benchmark::DoNotOptimize(pre);
+  }
+  state.counters["|q|"] = k;
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_StarQuery)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_CliqueQueryRefutation(benchmark::State& state) {
+  // The genuine NP shape of Thm 6.1's query-complexity direction: a
+  // k-clique body over a triangle-free-ish database must be refuted
+  // exhaustively, so emptiness testing grows exponentially in |q|.
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Term p = dict.Iri("p");
+  // Turán-style database: complete 4-partite with 4 nodes per part.
+  // Clique number 4, so k ≤ 4 has answers while k ≥ 5 must be refuted
+  // exhaustively — the emptiness cliff of Thm 6.1.
+  Graph db;
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 16; ++j) {
+      if (i % 4 == j % 4) continue;  // same part: no edge
+      db.Insert(dict.Iri(NumberedName("n", i)), p,
+                dict.Iri(NumberedName("n", j)));
+    }
+  }
+  Query q;
+  for (uint32_t i = 0; i < k; ++i) {
+    for (uint32_t j = 0; j < k; ++j) {
+      if (i != j) {
+        q.body.Insert(dict.Var(NumberedName("c", i)), p,
+                      dict.Var(NumberedName("c", j)));
+      }
+    }
+  }
+  q.head = q.body;
+  QueryEvaluator eval(&dict);
+  size_t answers = 0;
+  for (auto _ : state) {
+    Result<std::vector<Graph>> pre = eval.PreAnswer(q, db);
+    answers = pre.ok() ? pre->size() : 0;
+    benchmark::DoNotOptimize(pre);
+  }
+  state.counters["k"] = k;
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_CliqueQueryRefutation)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_WithRdfsInference(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Rng rng(53);
+  SchemaWorkloadSpec spec;
+  spec.num_classes = n / 4 + 2;
+  spec.num_properties = n / 8 + 2;
+  spec.num_instances = n;
+  spec.num_facts = 2 * n;
+  Graph db = SchemaWorkload(spec, &dict, &rng);
+  Query q;
+  q.body.Insert(dict.Var("X"), vocab::kType, dict.Var("C"));
+  q.head = q.body;
+  QueryEvaluator eval(&dict);
+  size_t answers = 0;
+  for (auto _ : state) {
+    Result<std::vector<Graph>> pre = eval.PreAnswer(q, db);
+    answers = pre.ok() ? pre->size() : 0;
+    benchmark::DoNotOptimize(pre);
+  }
+  state.counters["|D|"] = static_cast<double>(db.size());
+  state.counters["typed"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_WithRdfsInference)->Arg(20)->Arg(40)->Arg(80)->Arg(160);
+
+}  // namespace
+}  // namespace swdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// E9 — Thm 6.2 vs 6.3: deciding whether a union-semantics answer is
+// lean is coNP-complete in |D|, but for merge semantics the
+// blank-disjointness of single answers gives a polynomial algorithm.
+//
+// Series reported:
+//   * UnionLeanGeneral/n   — general leanness test on a union answer
+//                            whose blanks are entangled.
+//   * MergeLeanFast/n      — the Thm 6.3 single-maps algorithm on the
+//                            same number of (disjoint) answers.
+//   * MergeEliminate/n     — full redundancy elimination under merge
+//                            semantics.
+//   * UnionLeanHard/k      — odd-cycle union answers: the coNP shape.
+
+#include <benchmark/benchmark.h>
+
+#include "graphtheory/digraph.h"
+#include "normal/core.h"
+#include "query/redundancy.h"
+#include "util/rng.h"
+#include "util/str.h"
+
+namespace swdb {
+namespace {
+
+// n single answers over one predicate: half ground, half with blanks
+// subsumed by the ground ones.
+std::vector<Graph> MakeAnswers(uint32_t n, Dictionary* dict) {
+  std::vector<Graph> answers;
+  Term p = dict->Iri("p");
+  for (uint32_t i = 0; i < n; ++i) {
+    Term s = dict->Iri(NumberedName("s", i));
+    if (i % 2 == 0) {
+      answers.push_back(Graph{Triple(s, p, dict->Iri("o"))});
+    } else {
+      answers.push_back(Graph{Triple(s, p, dict->FreshBlank())});
+    }
+  }
+  return answers;
+}
+
+void BM_UnionLeanGeneral(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  std::vector<Graph> answers = MakeAnswers(n, &dict);
+  Graph merged;
+  for (const Graph& g : answers) merged.InsertAll(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsLean(merged));
+  }
+  state.counters["answers"] = n;
+}
+BENCHMARK(BM_UnionLeanGeneral)->Arg(8)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_MergeLeanFast(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  std::vector<Graph> answers = MakeAnswers(n, &dict);
+  for (auto _ : state) {
+    Result<bool> lean = IsMergeAnswerLean(answers);
+    benchmark::DoNotOptimize(lean);
+  }
+  state.counters["answers"] = n;
+}
+BENCHMARK(BM_MergeLeanFast)->Arg(8)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_MergeEliminate(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  std::vector<Graph> answers = MakeAnswers(n, &dict);
+  size_t kept = 0;
+  for (auto _ : state) {
+    Result<std::vector<Graph>> reduced = EliminateMergeRedundancy(answers);
+    kept = reduced.ok() ? reduced->size() : 0;
+    benchmark::DoNotOptimize(reduced);
+  }
+  state.counters["answers"] = n;
+  state.counters["kept"] = static_cast<double>(kept);
+}
+BENCHMARK(BM_MergeEliminate)->Arg(8)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_UnionLeanHard(benchmark::State& state) {
+  // A union answer shaped like an odd symmetric cycle: blanks are
+  // entangled across single answers, so only the general coNP test
+  // applies, and it must refute a homomorphism per triple.
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Term e = dict.Iri("e");
+  Graph merged = EncodeAsRdf(Digraph::SymmetricCycle(2 * k + 1), &dict, e);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsLean(merged));
+  }
+  state.counters["cycle"] = 2 * k + 1;
+}
+BENCHMARK(BM_UnionLeanHard)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+}  // namespace
+}  // namespace swdb
+
+BENCHMARK_MAIN();

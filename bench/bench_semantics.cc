@@ -1,0 +1,133 @@
+// E10 — §4.1, Prop. 4.5 / Thm 4.6: answer semantics. Union answers are
+// invariant under database equivalence when matching is done against
+// nf(D); matching against the raw closure is cheaper but syntax
+// dependent. Union answers always entail merge answers.
+//
+// Series reported:
+//   * NfEvaluation/n       — evaluation against nf(D + P).
+//   * ClosureEvaluation/n  — evaluation against RDFS-cl(D + P).
+//   * InvarianceNf/n       — iso-rate of answers across equivalent
+//                            database mutations, nf mode (must be 1.0).
+//   * InvarianceClosure/n  — same in closure mode (drops below 1.0).
+//   * UnionVsMerge/n       — ans∪ vs ans+ sizes and the entailment
+//                            check between them.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/generators.h"
+#include "inference/closure.h"
+#include "query/answer.h"
+#include "rdf/iso.h"
+#include "util/rng.h"
+
+namespace swdb {
+namespace {
+
+Graph MakeSchemaDb(uint32_t n, Dictionary* dict, uint64_t seed) {
+  Rng rng(seed);
+  SchemaWorkloadSpec spec;
+  spec.num_classes = n / 5 + 2;
+  spec.num_properties = n / 8 + 2;
+  spec.num_instances = n;
+  spec.num_facts = 2 * n;
+  spec.blank_instance_ratio = 0.2;
+  return SchemaWorkload(spec, dict, &rng);
+}
+
+Query TypeQuery(Dictionary* dict) {
+  Query q;
+  q.body.Insert(dict->Var("X"), vocab::kType, dict->Var("C"));
+  q.head = q.body;
+  return q;
+}
+
+void BM_NfEvaluation(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Graph db = MakeSchemaDb(n, &dict, 71);
+  Query q = TypeQuery(&dict);
+  QueryEvaluator eval(&dict);
+  for (auto _ : state) {
+    Result<Graph> ans = eval.AnswerUnion(q, db);
+    benchmark::DoNotOptimize(ans);
+  }
+  state.counters["|D|"] = static_cast<double>(db.size());
+}
+BENCHMARK(BM_NfEvaluation)->Arg(20)->Arg(40)->Arg(80)->Arg(160);
+
+void BM_ClosureEvaluation(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Graph db = MakeSchemaDb(n, &dict, 71);
+  Query q = TypeQuery(&dict);
+  EvalOptions options;
+  options.use_closure_only = true;
+  QueryEvaluator eval(&dict, options);
+  for (auto _ : state) {
+    Result<Graph> ans = eval.AnswerUnion(q, db);
+    benchmark::DoNotOptimize(ans);
+  }
+  state.counters["|D|"] = static_cast<double>(db.size());
+}
+BENCHMARK(BM_ClosureEvaluation)->Arg(20)->Arg(40)->Arg(80)->Arg(160);
+
+void InvarianceRun(benchmark::State& state, bool closure_only) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Rng rng(73);
+  Graph db = MakeSchemaDb(n, &dict, 79);
+  Query q = TypeQuery(&dict);
+  EvalOptions options;
+  options.use_closure_only = closure_only;
+  QueryEvaluator eval(&dict, options);
+  Result<Graph> baseline = eval.AnswerUnion(q, db);
+  double iso_hits = 0;
+  double rounds = 0;
+  for (auto _ : state) {
+    Graph mutated = EquivalentMutation(db, 2, &dict, &rng);
+    Result<Graph> ans = eval.AnswerUnion(q, mutated);
+    bool iso = baseline.ok() && ans.ok() && AreIsomorphic(*baseline, *ans);
+    iso_hits += iso ? 1 : 0;
+    rounds += 1;
+    benchmark::DoNotOptimize(ans);
+  }
+  state.counters["iso_rate"] = rounds > 0 ? iso_hits / rounds : 0;
+}
+
+void BM_InvarianceNf(benchmark::State& state) {
+  InvarianceRun(state, /*closure_only=*/false);
+}
+BENCHMARK(BM_InvarianceNf)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_InvarianceClosure(benchmark::State& state) {
+  InvarianceRun(state, /*closure_only=*/true);
+}
+BENCHMARK(BM_InvarianceClosure)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_UnionVsMerge(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Graph db = MakeSchemaDb(n, &dict, 83);
+  Query q = TypeQuery(&dict);
+  QueryEvaluator eval(&dict);
+  size_t union_size = 0;
+  size_t merge_size = 0;
+  bool entails = false;
+  for (auto _ : state) {
+    Result<Graph> u = eval.AnswerUnion(q, db);
+    Result<Graph> m = eval.AnswerMerge(q, db);
+    union_size = u.ok() ? u->size() : 0;
+    merge_size = m.ok() ? m->size() : 0;
+    entails = u.ok() && m.ok() && RdfsEntails(*u, *m);
+    benchmark::DoNotOptimize(entails);
+  }
+  state.counters["|ans_union|"] = static_cast<double>(union_size);
+  state.counters["|ans_merge|"] = static_cast<double>(merge_size);
+  state.counters["union_entails_merge"] = entails ? 1 : 0;
+}
+BENCHMARK(BM_UnionVsMerge)->Arg(10)->Arg(20)->Arg(40);
+
+}  // namespace
+}  // namespace swdb
+
+BENCHMARK_MAIN();

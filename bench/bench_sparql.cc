@@ -1,0 +1,151 @@
+// E12 (extension) — SPARQL-algebra evaluation on top of the core model,
+// following the semantics of the authors' follow-up [34]. Measures the
+// cost drivers the complexity results there predict: join fan-out,
+// OPTIONAL nesting depth, union width, and the overhead of RDFS-aware
+// evaluation (closing first).
+//
+// Series:
+//   * BgpJoin/k          — k-triple star BGP over a random graph.
+//   * OptionalChain/d    — d nested OPTIONALs.
+//   * UnionFan/w         — a UNION of w single-triple branches.
+//   * FilterSelectivity/n— FILTER over growing solution sets.
+//   * RdfsAware/n        — closure + query vs raw query.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/generators.h"
+#include "inference/closure.h"
+#include "sparql/pattern.h"
+#include "util/rng.h"
+#include "util/str.h"
+
+namespace swdb {
+namespace {
+
+Graph MakeData(uint32_t n, Dictionary* dict, uint64_t seed) {
+  Rng rng(seed);
+  RandomGraphSpec spec;
+  spec.num_nodes = n;
+  spec.num_triples = 3 * n;
+  spec.num_predicates = 4;
+  spec.blank_ratio = 0;
+  return RandomSimpleGraph(spec, dict, &rng);
+}
+
+void BM_BgpJoin(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Graph data = MakeData(40, &dict, 301);
+  Graph bgp;
+  Term center = dict.Var("c");
+  for (uint32_t i = 0; i < k; ++i) {
+    bgp.Insert(center, dict.Iri(NumberedName("urn:p", i % 4)),
+               dict.Var(NumberedName("l", i)));
+  }
+  SparqlPattern p = SparqlPattern::Bgp(bgp);
+  size_t rows = 0;
+  for (auto _ : state) {
+    Result<MappingSet> result = EvalPattern(data, p);
+    rows = result.ok() ? result->size() : 0;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["|q|"] = k;
+  state.counters["rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_BgpJoin)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_OptionalChain(benchmark::State& state) {
+  const uint32_t depth = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Graph data = MakeData(40, &dict, 303);
+  SparqlPattern p = SparqlPattern::Bgp(
+      Graph{Triple(dict.Var("x0"), dict.Iri("urn:p0"), dict.Var("x1"))});
+  for (uint32_t d = 0; d < depth; ++d) {
+    SparqlPattern next = SparqlPattern::Bgp(
+        Graph{Triple(dict.Var(NumberedName("x", d + 1)),
+                     dict.Iri(NumberedName("urn:p", (d + 1) % 4)),
+                     dict.Var(NumberedName("x", d + 2)))});
+    p = SparqlPattern::Optional(std::move(p), std::move(next));
+  }
+  size_t rows = 0;
+  for (auto _ : state) {
+    Result<MappingSet> result = EvalPattern(data, p);
+    rows = result.ok() ? result->size() : 0;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["depth"] = depth;
+  state.counters["rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_OptionalChain)->Arg(1)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_UnionFan(benchmark::State& state) {
+  const uint32_t width = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Graph data = MakeData(40, &dict, 305);
+  SparqlPattern p = SparqlPattern::Bgp(
+      Graph{Triple(dict.Var("s"), dict.Iri("urn:p0"), dict.Var("o"))});
+  for (uint32_t w = 1; w < width; ++w) {
+    SparqlPattern branch = SparqlPattern::Bgp(
+        Graph{Triple(dict.Var("s"), dict.Iri(NumberedName("urn:p", w % 4)),
+                     dict.Var("o"))});
+    p = SparqlPattern::Union(std::move(p), std::move(branch));
+  }
+  size_t rows = 0;
+  for (auto _ : state) {
+    Result<MappingSet> result = EvalPattern(data, p);
+    rows = result.ok() ? result->size() : 0;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["width"] = width;
+  state.counters["rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_UnionFan)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_FilterSelectivity(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Graph data = MakeData(n, &dict, 307);
+  SparqlPattern p = SparqlPattern::Filter(
+      SparqlPattern::Bgp(Graph{
+          Triple(dict.Var("s"), dict.Iri("urn:p0"), dict.Var("o"))}),
+      FilterExpr::Not(
+          FilterExpr::Equals(dict.Var("s"), dict.Var("o"))));
+  size_t rows = 0;
+  for (auto _ : state) {
+    Result<MappingSet> result = EvalPattern(data, p);
+    rows = result.ok() ? result->size() : 0;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["|D|"] = static_cast<double>(data.size());
+  state.counters["rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_FilterSelectivity)->Arg(20)->Arg(80)->Arg(320)->Arg(1280);
+
+void BM_RdfsAware(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Dictionary dict;
+  Rng rng(309);
+  SchemaWorkloadSpec spec;
+  spec.num_classes = n / 5 + 2;
+  spec.num_properties = n / 8 + 2;
+  spec.num_instances = n;
+  spec.num_facts = 2 * n;
+  Graph data = SchemaWorkload(spec, &dict, &rng);
+  SparqlPattern p = SparqlPattern::Bgp(
+      Graph{Triple(dict.Var("x"), vocab::kType, dict.Var("c"))});
+  size_t rows = 0;
+  for (auto _ : state) {
+    Graph closed = RdfsClosure(data);
+    Result<MappingSet> result = EvalPattern(closed, p);
+    rows = result.ok() ? result->size() : 0;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["|D|"] = static_cast<double>(data.size());
+  state.counters["rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_RdfsAware)->Arg(20)->Arg(40)->Arg(80)->Arg(160);
+
+}  // namespace
+}  // namespace swdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Normal forms for RDF graphs (paper Section 3): closures and their
+// non-uniqueness pitfalls (Ex. 3.2), lean graphs and cores (Ex. 3.8),
+// non-unique minimal representations (Ex. 3.14 / 3.15), and the
+// syntax-independent normal form nf(G) = core(cl(G)) (Ex. 3.17).
+//
+//   $ ./examples/normalization
+
+#include <cstdio>
+
+#include "inference/closure.h"
+#include "normal/core.h"
+#include "normal/minimal.h"
+#include "normal/normal_form.h"
+#include "parser/text.h"
+#include "rdf/iso.h"
+
+int main() {
+  using namespace swdb;
+  Dictionary dict;
+  auto parse = [&dict](const char* text) {
+    Result<Graph> g = ParseGraph(text, &dict);
+    return g.ok() ? *g : Graph();
+  };
+
+  // --- Leanness and cores (Ex. 3.8, Thm 3.10/3.11). ---
+  Graph g1 = parse("a p _:X .\na p _:Y .");
+  Graph g2 = parse("a p _:X .\n_:X q _:Y .\n_:Y r b .");
+  std::printf("Ex 3.8  G1 lean? %s   G2 lean? %s\n",
+              IsLean(g1) ? "yes" : "no", IsLean(g2) ? "yes" : "no");
+  std::printf("core(G1):\n%s", FormatGraph(Core(g1), dict).c_str());
+
+  // --- Closure size (Thm 3.6(3)): quadratic on sc-chains. ---
+  Graph chain = parse(
+      "c0 sc c1 .\nc1 sc c2 .\nc2 sc c3 .\nc3 sc c4 .\nc4 sc c5 .");
+  std::printf("\nsc-chain of %zu triples closes to %zu triples\n",
+              chain.size(), RdfsClosure(chain).size());
+
+  // --- Non-unique minimal representations (Ex. 3.14). ---
+  Graph ex314 = parse("b sp c .\nc sp b .\nb sp a .\nc sp a .");
+  std::vector<Graph> minimums = AllMinimumRepresentations(ex314);
+  std::printf("\nEx 3.14 has %zu distinct minimum representations:\n",
+              minimums.size());
+  for (const Graph& m : minimums) {
+    std::printf("%s---\n", FormatGraph(m, dict).c_str());
+  }
+
+  // --- Ex. 3.15: acyclic, yet still two minimal representations. ---
+  Graph ex315 = parse(
+      "a sc b .\ntype dom a .\nx type a .\nx type b .");
+  minimums = AllMinimumRepresentations(ex315);
+  std::printf("Ex 3.15 (acyclic!) has %zu minimum representations\n",
+              minimums.size());
+
+  // --- Thm 3.16: unique minimum in the restricted class. ---
+  Graph restricted = parse(
+      "a sc b .\nb sc c .\na sc c .\n"
+      "p dom c .\nu p v .\nu type c .");
+  std::printf(
+      "restricted graph: vocab-in-data=%s, acyclic=%s, "
+      "#minimums=%zu\n",
+      HasReservedVocabInSubjectOrObject(restricted) ? "yes" : "no",
+      IsAcyclicScSp(restricted) ? "yes" : "no",
+      AllMinimumRepresentations(restricted).size());
+
+  // --- Ex. 3.17: closure is syntax dependent, nf is not. ---
+  Graph ex317_g = parse("a sc b .\nb sc c .\na sc _:N .\n_:N sc c .");
+  Graph ex317_h = parse("a sc b .\nb sc c .\na sc c .");
+  std::printf(
+      "\nEx 3.17: G ≡ H? %s | cl(G) ≅ cl(H)? %s | nf(G) ≅ nf(H)? %s\n",
+      RdfsEquivalent(ex317_g, ex317_h) ? "yes" : "no",
+      AreIsomorphic(RdfsClosure(ex317_g), RdfsClosure(ex317_h)) ? "yes"
+                                                                : "no",
+      AreIsomorphic(NormalForm(ex317_g), NormalForm(ex317_h)) ? "yes"
+                                                              : "no");
+  std::printf("nf(G):\n%s", FormatGraph(NormalForm(ex317_g), dict).c_str());
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Regular path queries — the "reachability, paths" extension listed as
+// future work in the paper's conclusions (§7), implemented on top of the
+// core model. Demonstrates plain navigation, inverse steps, and
+// RDFS-aware reachability by evaluating over the closure.
+//
+//   $ ./examples/path_navigation
+
+#include <cstdio>
+
+#include "inference/closure.h"
+#include "parser/text.h"
+#include "paths/path.h"
+
+namespace {
+
+constexpr const char* kSocialGraph = R"(
+# A little influence network.
+monet     influenced vanGogh .
+vanGogh   influenced schiele .
+cezanne   influenced picasso .
+picasso   influenced bacon .
+monet     friendOf   renoir .
+renoir    influenced picasso .
+# A class hierarchy on the side.
+impressionist  sc painter .
+cubist         sc painter .
+painter        sc artist .
+monet   type impressionist .
+picasso type cubist .
+)";
+
+}  // namespace
+
+int main() {
+  using namespace swdb;
+  Dictionary dict;
+  Result<Graph> parsed = ParseGraph(kSocialGraph, &dict);
+  if (!parsed.ok()) {
+    std::printf("parse error: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  Graph g = *parsed;
+
+  auto show = [&](const char* label, const char* expr, const char* from,
+                  const Graph& data) {
+    Result<PathExpr> path = ParsePathExpr(expr, &dict);
+    if (!path.ok()) {
+      std::printf("%s: %s\n", expr, path.status().ToString().c_str());
+      return;
+    }
+    std::printf("%-44s {", label);
+    bool first = true;
+    for (Term t : EvalPathFrom(data, *path, {dict.Iri(from)})) {
+      std::printf("%s%s", first ? "" : ", ", FormatTerm(t, dict).c_str());
+      first = false;
+    }
+    std::printf("}\n");
+  };
+
+  std::printf("== navigation over the raw graph ==\n");
+  show("influenced(monet):", "influenced", "monet", g);
+  show("influenced+(monet):", "influenced+", "monet", g);
+  show("(friendOf/influenced)(monet):", "friendOf/influenced", "monet", g);
+  show("(influenced|friendOf)+(monet):", "(influenced|friendOf)+", "monet",
+       g);
+  show("^influenced(picasso):", "^influenced", "picasso", g);
+  show("(^influenced)+(bacon):", "(^influenced)+", "bacon", g);
+
+  std::printf("\n== RDFS-aware: evaluate over the closure ==\n");
+  Graph closure = RdfsClosure(g);
+  show("sc+(impressionist), raw:", "sc+", "impressionist", g);
+  show("sc+(impressionist), closure:", "sc+", "impressionist", closure);
+  show("type/sc*(monet), closure:", "type/(sc)*", "monet", closure);
+  return 0;
+}

@@ -1,0 +1,203 @@
+// swdb_cli — a command-line front end to the library, in the spirit of
+// the small tools that ship with RDF stores.
+//
+// Usage:
+//   swdb_cli closure  <graph-file>             print RDFS-cl(G)
+//   swdb_cli core     <graph-file>             print core(G)
+//   swdb_cli nf       <graph-file>             print nf(G) = core(cl(G))
+//   swdb_cli lean     <graph-file>             report whether G is lean
+//   swdb_cli minimal  <graph-file>             print a minimal representation
+//   swdb_cli entails  <graph-file> <goal-file> decide G ⊨ H, print a proof
+//   swdb_cli query    <graph-file> <query-file> [--merge]
+//   swdb_cli paths    <graph-file> <path-expr> <start-node> [--closure]
+//   swdb_cli sparql   <graph-file> <sparql-file> [--closure]
+//   swdb_cli stats    <graph-file>             sizes of G, cl(G), core(G)
+//
+// Graph files are in the line-oriented "s p o ." format (see
+// parser/text.h); query files in the "head:/body:/premise:/bind:"
+// format.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "inference/closure.h"
+#include "inference/proof.h"
+#include "normal/core.h"
+#include "normal/minimal.h"
+#include "normal/normal_form.h"
+#include "parser/text.h"
+#include "paths/path.h"
+#include "query/database.h"
+#include "sparql/sparql_parser.h"
+
+namespace {
+
+using namespace swdb;
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "swdb_cli: %s\n", message.c_str());
+  return 1;
+}
+
+Result<std::string> ReadFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(std::string("cannot open ") + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Result<Graph> LoadGraph(const char* path, Dictionary* dict) {
+  Result<std::string> text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return ParseGraph(*text, dict);
+}
+
+int CmdUnary(const char* mode, const char* file) {
+  Dictionary dict;
+  Result<Graph> g = LoadGraph(file, &dict);
+  if (!g.ok()) return Fail(g.status().ToString());
+  if (std::strcmp(mode, "closure") == 0) {
+    std::fputs(FormatGraph(RdfsClosure(*g), dict).c_str(), stdout);
+  } else if (std::strcmp(mode, "core") == 0) {
+    std::fputs(FormatGraph(Core(*g), dict).c_str(), stdout);
+  } else if (std::strcmp(mode, "nf") == 0) {
+    std::fputs(FormatGraph(NormalForm(*g), dict).c_str(), stdout);
+  } else if (std::strcmp(mode, "lean") == 0) {
+    std::printf("%s\n", IsLean(*g) ? "lean" : "not lean");
+  } else if (std::strcmp(mode, "minimal") == 0) {
+    std::fputs(FormatGraph(MinimalRepresentation(*g), dict).c_str(),
+               stdout);
+  } else if (std::strcmp(mode, "stats") == 0) {
+    Graph cl = RdfsClosure(*g);
+    Graph core = Core(*g);
+    std::printf("triples:     %zu\n", g->size());
+    std::printf("blanks:      %zu\n", g->BlankNodes().size());
+    std::printf("ground:      %s\n", g->IsGround() ? "yes" : "no");
+    std::printf("simple:      %s\n", g->IsSimple() ? "yes" : "no");
+    std::printf("lean:        %s\n",
+                core.size() == g->size() ? "yes" : "no");
+    std::printf("|closure|:   %zu\n", cl.size());
+    std::printf("|core|:      %zu\n", core.size());
+    std::printf("|nf|:        %zu\n", Core(cl).size());
+  }
+  return 0;
+}
+
+int CmdEntails(const char* graph_file, const char* goal_file) {
+  Dictionary dict;
+  Result<Graph> g = LoadGraph(graph_file, &dict);
+  if (!g.ok()) return Fail(g.status().ToString());
+  Result<Graph> goal = LoadGraph(goal_file, &dict);
+  if (!goal.ok()) return Fail(goal.status().ToString());
+  Result<Proof> proof = ProveEntailment(*g, *goal);
+  if (!proof.ok()) {
+    std::printf("NOT ENTAILED (%s)\n", proof.status().ToString().c_str());
+    return 2;
+  }
+  Status check = CheckProof(*proof);
+  std::printf("ENTAILED — proof with %zu steps, checker: %s\n",
+              proof->steps.size(), check.ToString().c_str());
+  return check.ok() ? 0 : 1;
+}
+
+int CmdQuery(const char* graph_file, const char* query_file, bool merge) {
+  Dictionary dict;
+  Database db(&dict);
+  {
+    Result<std::string> text = ReadFile(graph_file);
+    if (!text.ok()) return Fail(text.status().ToString());
+    Status s = db.InsertText(*text);
+    if (!s.ok()) return Fail(s.ToString());
+  }
+  Result<std::string> query_text = ReadFile(query_file);
+  if (!query_text.ok()) return Fail(query_text.status().ToString());
+  Result<Query> query = ParseQuery(*query_text, &dict);
+  if (!query.ok()) return Fail(query.status().ToString());
+  Result<Graph> answer =
+      merge ? db.AnswerMerge(*query) : db.AnswerUnion(*query);
+  if (!answer.ok()) return Fail(answer.status().ToString());
+  std::fputs(FormatGraph(*answer, dict).c_str(), stdout);
+  return 0;
+}
+
+int CmdPaths(const char* graph_file, const char* expr, const char* start,
+             bool over_closure) {
+  Dictionary dict;
+  Result<Graph> g = LoadGraph(graph_file, &dict);
+  if (!g.ok()) return Fail(g.status().ToString());
+  Result<PathExpr> path = ParsePathExpr(expr, &dict);
+  if (!path.ok()) return Fail(path.status().ToString());
+  Result<Term> source = ParseTerm(start, &dict);
+  if (!source.ok()) return Fail(source.status().ToString());
+  Graph data = over_closure ? RdfsClosure(*g) : *g;
+  for (Term t : EvalPathFrom(data, *path, {*source})) {
+    std::printf("%s\n", FormatTerm(t, dict).c_str());
+  }
+  return 0;
+}
+
+int CmdSparql(const char* graph_file, const char* query_file,
+              bool over_closure) {
+  Dictionary dict;
+  Result<Graph> g = LoadGraph(graph_file, &dict);
+  if (!g.ok()) return Fail(g.status().ToString());
+  Result<std::string> text = ReadFile(query_file);
+  if (!text.ok()) return Fail(text.status().ToString());
+  Result<SparqlQuery> query = ParseSparql(*text, &dict);
+  if (!query.ok()) return Fail(query.status().ToString());
+  Graph data = over_closure ? RdfsClosure(*g) : *g;
+  Result<MappingSet> rows = EvalSelect(data, query->pattern, query->select);
+  if (!rows.ok()) return Fail(rows.status().ToString());
+  for (const Mapping& row : *rows) {
+    for (Term var : query->select) {
+      std::printf("%s=%s\t", FormatTerm(var, dict).c_str(),
+                  row.IsBound(var) ? FormatTerm(row.Apply(var), dict).c_str()
+                                   : "");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return Fail("usage: swdb_cli <closure|core|nf|lean|minimal|stats|"
+                "entails|query|paths> <args...>  (see source header)");
+  }
+  const char* mode = argv[1];
+  if (std::strcmp(mode, "closure") == 0 || std::strcmp(mode, "core") == 0 ||
+      std::strcmp(mode, "nf") == 0 || std::strcmp(mode, "lean") == 0 ||
+      std::strcmp(mode, "minimal") == 0 || std::strcmp(mode, "stats") == 0) {
+    return CmdUnary(mode, argv[2]);
+  }
+  if (std::strcmp(mode, "entails") == 0) {
+    if (argc < 4) return Fail("entails needs <graph-file> <goal-file>");
+    return CmdEntails(argv[2], argv[3]);
+  }
+  if (std::strcmp(mode, "query") == 0) {
+    if (argc < 4) return Fail("query needs <graph-file> <query-file>");
+    bool merge = argc > 4 && std::strcmp(argv[4], "--merge") == 0;
+    return CmdQuery(argv[2], argv[3], merge);
+  }
+  if (std::strcmp(mode, "sparql") == 0) {
+    if (argc < 4) return Fail("sparql needs <graph-file> <sparql-file>");
+    bool over_closure = argc > 4 && std::strcmp(argv[4], "--closure") == 0;
+    return CmdSparql(argv[2], argv[3], over_closure);
+  }
+  if (std::strcmp(mode, "paths") == 0) {
+    if (argc < 5) {
+      return Fail("paths needs <graph-file> <path-expr> <start-node>");
+    }
+    bool over_closure = argc > 5 && std::strcmp(argv[5], "--closure") == 0;
+    return CmdPaths(argv[2], argv[3], argv[4], over_closure);
+  }
+  return Fail(std::string("unknown mode: ") + mode);
+}

@@ -1,0 +1,273 @@
+#include "cq/cq.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <numeric>
+#include <set>
+#include <unordered_set>
+
+namespace swdb {
+
+BooleanCq BooleanCq::FromGraph(const Graph& g) {
+  BooleanCq q;
+  q.atoms.reserve(g.size());
+  auto as_var = [](Term t) {
+    return t.IsBlank() ? Term::Var(t.id()) : t;
+  };
+  for (const Triple& t : g) {
+    assert(t.p.IsIri() && "Q_G is defined for well-formed graphs");
+    q.atoms.push_back(CqAtom{t.p, as_var(t.s), as_var(t.o)});
+  }
+  return q;
+}
+
+std::vector<Term> BooleanCq::Variables() const {
+  std::vector<Term> vars;
+  for (const CqAtom& atom : atoms) {
+    if (atom.a.IsVar()) vars.push_back(atom.a);
+    if (atom.b.IsVar()) vars.push_back(atom.b);
+  }
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return vars;
+}
+
+RelationalDb RelationalDb::FromGraph(const Graph& g) {
+  RelationalDb db;
+  for (const Triple& t : g) {
+    db.relations_[t.p].emplace_back(t.s, t.o);
+  }
+  return db;
+}
+
+const std::vector<std::pair<Term, Term>>& RelationalDb::Relation(
+    Term p) const {
+  auto it = relations_.find(p);
+  return it == relations_.end() ? empty_ : it->second;
+}
+
+bool HasBlankInducedCycle(const Graph& g) {
+  // Union-find over blank nodes; an edge joining two already-connected
+  // blanks, a parallel edge, or a blank self-loop closes a cycle.
+  std::unordered_map<Term, Term> parent;
+  std::function<Term(Term)> find = [&](Term x) -> Term {
+    auto it = parent.find(x);
+    if (it == parent.end() || it->second == x) return x;
+    Term root = find(it->second);
+    parent[x] = root;
+    return root;
+  };
+  std::unordered_set<uint64_t> seen_pairs;
+  for (const Triple& t : g) {
+    if (!t.s.IsBlank() || !t.o.IsBlank()) continue;
+    if (t.s == t.o) return true;  // blank self-loop
+    // Canonicalize the unordered pair to detect parallel edges.
+    Term lo = std::min(t.s, t.o);
+    Term hi = std::max(t.s, t.o);
+    uint64_t key = (static_cast<uint64_t>(lo.bits()) << 32) | hi.bits();
+    if (!seen_pairs.insert(key).second) return true;  // parallel edge
+    Term rs = find(t.s);
+    Term ro = find(t.o);
+    if (rs == ro) return true;  // closes a cycle
+    parent[rs] = ro;
+  }
+  return false;
+}
+
+namespace {
+
+std::vector<Term> AtomVars(const CqAtom& atom) {
+  std::vector<Term> vars;
+  if (atom.a.IsVar()) vars.push_back(atom.a);
+  if (atom.b.IsVar() && atom.b != atom.a) vars.push_back(atom.b);
+  return vars;
+}
+
+}  // namespace
+
+bool GyoAcyclic(const BooleanCq& q,
+                std::vector<std::optional<size_t>>* parent_out) {
+  const size_t n = q.atoms.size();
+  std::vector<std::vector<Term>> edge_vars(n);
+  for (size_t i = 0; i < n; ++i) edge_vars[i] = AtomVars(q.atoms[i]);
+
+  std::vector<bool> live(n, true);
+  std::vector<std::optional<size_t>> parent(n);
+  size_t live_count = n;
+
+  bool changed = true;
+  while (changed && live_count > 0) {
+    changed = false;
+    for (size_t e = 0; e < n && live_count > 0; ++e) {
+      if (!live[e]) continue;
+      // Vars of e shared with some other live edge.
+      std::vector<Term> shared;
+      for (Term v : edge_vars[e]) {
+        bool elsewhere = false;
+        for (size_t f = 0; f < n; ++f) {
+          if (f == e || !live[f]) continue;
+          if (std::find(edge_vars[f].begin(), edge_vars[f].end(), v) !=
+              edge_vars[f].end()) {
+            elsewhere = true;
+            break;
+          }
+        }
+        if (elsewhere) shared.push_back(v);
+      }
+      if (shared.empty()) {
+        // Isolated (or last) edge: an ear with no parent; root of a tree.
+        live[e] = false;
+        --live_count;
+        changed = true;
+        continue;
+      }
+      for (size_t f = 0; f < n; ++f) {
+        if (f == e || !live[f]) continue;
+        bool covers = std::all_of(
+            shared.begin(), shared.end(), [&](Term v) {
+              return std::find(edge_vars[f].begin(), edge_vars[f].end(), v) !=
+                     edge_vars[f].end();
+            });
+        if (covers) {
+          live[e] = false;
+          --live_count;
+          parent[e] = f;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  if (live_count > 0) return false;
+  if (parent_out != nullptr) *parent_out = std::move(parent);
+  return true;
+}
+
+namespace {
+
+// Tuples of an atom projected onto its variables, after applying the
+// atom's constant and repeated-variable filters.
+std::vector<std::vector<Term>> AtomTuples(const CqAtom& atom,
+                                          const RelationalDb& db) {
+  std::vector<std::vector<Term>> out;
+  const std::vector<Term> vars = AtomVars(atom);
+  for (const auto& [s, o] : db.Relation(atom.relation)) {
+    if (!atom.a.IsVar() && atom.a != s) continue;
+    if (!atom.b.IsVar() && atom.b != o) continue;
+    if (atom.a.IsVar() && atom.a == atom.b && s != o) continue;
+    std::vector<Term> tuple;
+    tuple.reserve(vars.size());
+    for (Term v : vars) tuple.push_back(v == atom.a ? s : o);
+    out.push_back(std::move(tuple));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::optional<bool> EvaluateAcyclic(const BooleanCq& q,
+                                    const RelationalDb& db) {
+  std::vector<std::optional<size_t>> parent;
+  if (!GyoAcyclic(q, &parent)) return std::nullopt;
+
+  const size_t n = q.atoms.size();
+  std::vector<std::vector<Term>> vars(n);
+  std::vector<std::vector<std::vector<Term>>> tuples(n);
+  for (size_t i = 0; i < n; ++i) {
+    vars[i] = AtomVars(q.atoms[i]);
+    tuples[i] = AtomTuples(q.atoms[i], db);
+    if (tuples[i].empty()) return false;
+  }
+
+  // Semijoin children into parents, children first. GYO removed atoms in
+  // an order where each removed atom's parent was still live, so the
+  // removal order itself is a valid bottom-up order.
+  // Reconstruct removal order: GyoAcyclic removed edges in the order it
+  // turned them dead; we re-derive a safe order by processing each atom
+  // before its parent (forest topological order).
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    // Depth-descending: deeper nodes first.
+    auto depth = [&](size_t u) {
+      size_t d = 0;
+      while (parent[u].has_value()) {
+        u = *parent[u];
+        ++d;
+      }
+      return d;
+    };
+    return depth(x) > depth(y);
+  });
+
+  for (size_t child : order) {
+    if (!parent[child].has_value()) continue;
+    size_t par = *parent[child];
+    // Shared variables and their positions in each tuple layout.
+    std::vector<std::pair<size_t, size_t>> common;  // (pos in par, in child)
+    for (size_t i = 0; i < vars[par].size(); ++i) {
+      for (size_t j = 0; j < vars[child].size(); ++j) {
+        if (vars[par][i] == vars[child][j]) common.emplace_back(i, j);
+      }
+    }
+    // Semijoin: keep parent tuples that join with some child tuple.
+    std::set<std::vector<Term>> child_keys;
+    auto key_of = [&common](const std::vector<Term>& tuple, bool is_parent) {
+      std::vector<Term> key;
+      key.reserve(common.size());
+      for (const auto& [pi, ci] : common) {
+        key.push_back(tuple[is_parent ? pi : ci]);
+      }
+      return key;
+    };
+    for (const auto& t : tuples[child]) {
+      child_keys.insert(key_of(t, false));
+    }
+    std::vector<std::vector<Term>> kept;
+    for (auto& t : tuples[par]) {
+      if (child_keys.count(key_of(t, true))) kept.push_back(std::move(t));
+    }
+    tuples[par] = std::move(kept);
+    if (tuples[par].empty()) return false;
+  }
+  return true;
+}
+
+bool EvaluateByBacktracking(const BooleanCq& q, const RelationalDb& db) {
+  std::unordered_map<Term, Term> binding;
+  std::function<bool(size_t)> search = [&](size_t index) -> bool {
+    if (index == q.atoms.size()) return true;
+    const CqAtom& atom = q.atoms[index];
+    for (const auto& [s, o] : db.Relation(atom.relation)) {
+      std::vector<Term> bound_here;
+      auto try_bind = [&](Term arg, Term value) {
+        if (!arg.IsVar()) return arg == value;
+        auto it = binding.find(arg);
+        if (it != binding.end()) return it->second == value;
+        binding[arg] = value;
+        bound_here.push_back(arg);
+        return true;
+      };
+      bool ok = try_bind(atom.a, s) && try_bind(atom.b, o);
+      if (ok && search(index + 1)) return true;
+      for (Term v : bound_here) binding.erase(v);
+    }
+    return false;
+  };
+  return search(0);
+}
+
+bool CqSimpleEntails(const Graph& g1, const Graph& g2,
+                     bool* used_acyclic_out) {
+  BooleanCq query = BooleanCq::FromGraph(g2);
+  RelationalDb db = RelationalDb::FromGraph(g1);
+  std::optional<bool> fast = EvaluateAcyclic(query, db);
+  if (used_acyclic_out != nullptr) *used_acyclic_out = fast.has_value();
+  if (fast.has_value()) return *fast;
+  return EvaluateByBacktracking(query, db);
+}
+
+}  // namespace swdb

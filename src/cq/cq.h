@@ -1,0 +1,86 @@
+#ifndef SWDB_CQ_CQ_H_
+#define SWDB_CQ_CQ_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "rdf/term.h"
+
+namespace swdb {
+
+/// A binary atom R_rel(a, b) of a Boolean conjunctive query. Arguments
+/// are constants (IRI or blank-as-constant terms) or variables (kVar
+/// terms).
+struct CqAtom {
+  Term relation;
+  Term a;
+  Term b;
+};
+
+/// A Boolean conjunctive query: the conjunction of its atoms, variables
+/// existentially quantified (paper §2.4's Q_G).
+struct BooleanCq {
+  std::vector<CqAtom> atoms;
+
+  /// Q_G: one atom R_p(s, o) per triple (s,p,o) ∈ g, with the blank
+  /// nodes of g turned into existential variables (keeping their ids).
+  static BooleanCq FromGraph(const Graph& g);
+
+  /// All distinct variables, sorted.
+  std::vector<Term> Variables() const;
+};
+
+/// The relational database D_G associated to a simple RDF graph: one
+/// binary relation R_p per predicate, containing {(s,o) : (s,p,o) ∈ g}.
+/// Blank nodes of g appear as plain constants in the active domain
+/// (paper §2.4).
+class RelationalDb {
+ public:
+  /// D_G from a graph.
+  static RelationalDb FromGraph(const Graph& g);
+
+  /// Tuples of relation R_p (empty if the relation does not exist).
+  const std::vector<std::pair<Term, Term>>& Relation(Term p) const;
+
+  size_t relation_count() const { return relations_.size(); }
+
+ private:
+  std::unordered_map<Term, std::vector<std::pair<Term, Term>>> relations_;
+  std::vector<std::pair<Term, Term>> empty_;
+};
+
+/// A cycle induced by blank nodes (paper §2.4): a closed sequence of
+/// 2+ distinct positions through universe(g) where consecutive elements
+/// are joined by a triple in either direction and all elements are blank.
+/// Parallel triples between two blanks and blank self-loops count.
+/// If g has no such cycle, Q_g is α-acyclic (paper §2.4, citing [40]).
+bool HasBlankInducedCycle(const Graph& g);
+
+/// GYO-reduction: α-acyclicity of the query hypergraph, and on success a
+/// join forest: parent[i] is the atom index atom i was eared into, or
+/// nullopt for roots.
+bool GyoAcyclic(const BooleanCq& q,
+                std::vector<std::optional<size_t>>* parent_out = nullptr);
+
+/// Evaluates a Boolean CQ by backtracking (reference semantics; NP-hard
+/// in general).
+bool EvaluateByBacktracking(const BooleanCq& q, const RelationalDb& db);
+
+/// Evaluates an α-acyclic Boolean CQ in polynomial time by Yannakakis'
+/// semijoin algorithm over a GYO join forest (paper §2.4, citing [40]).
+/// Returns std::nullopt if the query is not α-acyclic.
+std::optional<bool> EvaluateAcyclic(const BooleanCq& q,
+                                    const RelationalDb& db);
+
+/// Simple entailment g1 ⊨ g2 through the CQ connection of §2.4:
+/// D_{g1} ⊨ Q_{g2}. Uses Yannakakis when Q_{g2} is α-acyclic (the
+/// polynomial regime the paper identifies for blank-acyclic g2) and
+/// backtracking otherwise. `used_acyclic_out` reports the path taken.
+bool CqSimpleEntails(const Graph& g1, const Graph& g2,
+                     bool* used_acyclic_out = nullptr);
+
+}  // namespace swdb
+
+#endif  // SWDB_CQ_CQ_H_

@@ -1,0 +1,311 @@
+#include "graphtheory/digraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <numeric>
+
+namespace swdb {
+
+Digraph::Digraph(uint32_t node_count,
+                 std::vector<std::pair<uint32_t, uint32_t>> edges)
+    : node_count_(node_count), edges_(std::move(edges)) {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  for ([[maybe_unused]] const auto& [u, v] : edges_) {
+    assert(u < node_count_ && v < node_count_);
+  }
+}
+
+void Digraph::AddEdge(uint32_t u, uint32_t v) {
+  assert(u < node_count_ && v < node_count_);
+  auto edge = std::make_pair(u, v);
+  auto it = std::lower_bound(edges_.begin(), edges_.end(), edge);
+  if (it != edges_.end() && *it == edge) return;
+  edges_.insert(it, edge);
+  InvalidateAdjacency();
+}
+
+bool Digraph::HasEdge(uint32_t u, uint32_t v) const {
+  return std::binary_search(edges_.begin(), edges_.end(),
+                            std::make_pair(u, v));
+}
+
+void Digraph::InvalidateAdjacency() { adjacency_valid_ = false; }
+
+void Digraph::EnsureAdjacency() const {
+  if (adjacency_valid_) return;
+  out_.assign(node_count_, {});
+  in_.assign(node_count_, {});
+  for (const auto& [u, v] : edges_) {
+    out_[u].push_back(v);
+    in_[v].push_back(u);
+  }
+  adjacency_valid_ = true;
+}
+
+const std::vector<uint32_t>& Digraph::OutNeighbors(uint32_t u) const {
+  EnsureAdjacency();
+  return out_[u];
+}
+
+const std::vector<uint32_t>& Digraph::InNeighbors(uint32_t u) const {
+  EnsureAdjacency();
+  return in_[u];
+}
+
+Digraph Digraph::CompleteSymmetric(uint32_t n) {
+  Digraph g(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = 0; v < n; ++v) {
+      if (u != v) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Digraph Digraph::SymmetricCycle(uint32_t n) {
+  Digraph g(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    uint32_t v = (u + 1) % n;
+    g.AddEdge(u, v);
+    g.AddEdge(v, u);
+  }
+  return g;
+}
+
+Digraph Digraph::Path(uint32_t n) {
+  Digraph g(n);
+  for (uint32_t u = 0; u + 1 < n; ++u) g.AddEdge(u, u + 1);
+  return g;
+}
+
+namespace {
+
+// Backtracking homomorphism search over nodes, most-constrained-first.
+class DigraphHomSearch {
+ public:
+  DigraphHomSearch(const Digraph& h1, const Digraph& h2)
+      : h1_(h1), h2_(h2), assignment_(h1.node_count(), kUnassigned) {}
+
+  std::optional<std::vector<uint32_t>> Find() {
+    if (Search()) return assignment_;
+    return std::nullopt;
+  }
+
+ private:
+  static constexpr uint32_t kUnassigned =
+      std::numeric_limits<uint32_t>::max();
+
+  // Candidate check: u ↦ image consistent with already-assigned
+  // neighbors.
+  bool Consistent(uint32_t u, uint32_t image) const {
+    for (uint32_t v : h1_.OutNeighbors(u)) {
+      if (assignment_[v] != kUnassigned && !h2_.HasEdge(image, assignment_[v]))
+        return false;
+    }
+    for (uint32_t v : h1_.InNeighbors(u)) {
+      if (assignment_[v] != kUnassigned && !h2_.HasEdge(assignment_[v], image))
+        return false;
+    }
+    // Self-loop.
+    if (h1_.HasEdge(u, u) && !h2_.HasEdge(image, image)) return false;
+    return true;
+  }
+
+  bool Search() {
+    // Pick the unassigned node with most assigned neighbors (ties: max
+    // degree).
+    uint32_t pick = kUnassigned;
+    int best_score = -1;
+    for (uint32_t u = 0; u < h1_.node_count(); ++u) {
+      if (assignment_[u] != kUnassigned) continue;
+      int assigned_neighbors = 0;
+      for (uint32_t v : h1_.OutNeighbors(u)) {
+        assigned_neighbors += assignment_[v] != kUnassigned;
+      }
+      for (uint32_t v : h1_.InNeighbors(u)) {
+        assigned_neighbors += assignment_[v] != kUnassigned;
+      }
+      int degree = static_cast<int>(h1_.OutNeighbors(u).size() +
+                                    h1_.InNeighbors(u).size());
+      int score = assigned_neighbors * 1024 + degree;
+      if (score > best_score) {
+        best_score = score;
+        pick = u;
+      }
+    }
+    if (pick == kUnassigned) return true;  // all assigned
+
+    for (uint32_t image = 0; image < h2_.node_count(); ++image) {
+      if (!Consistent(pick, image)) continue;
+      assignment_[pick] = image;
+      if (Search()) return true;
+      assignment_[pick] = kUnassigned;
+    }
+    return false;
+  }
+
+  const Digraph& h1_;
+  const Digraph& h2_;
+  std::vector<uint32_t> assignment_;
+};
+
+}  // namespace
+
+std::optional<std::vector<uint32_t>> FindGraphHomomorphism(
+    const Digraph& h1, const Digraph& h2) {
+  if (h1.node_count() > 0 && h2.node_count() == 0) return std::nullopt;
+  DigraphHomSearch search(h1, h2);
+  return search.Find();
+}
+
+bool IsHomomorphic(const Digraph& h1, const Digraph& h2) {
+  return FindGraphHomomorphism(h1, h2).has_value();
+}
+
+bool HomomorphicallyEquivalent(const Digraph& h1, const Digraph& h2) {
+  return IsHomomorphic(h1, h2) && IsHomomorphic(h2, h1);
+}
+
+Digraph GraphCore(const Digraph& h, std::vector<uint32_t>* kept_nodes) {
+  // Iteratively fold the graph onto proper subgraphs: find a retraction
+  // that avoids some node, restrict, repeat.
+  std::vector<uint32_t> nodes(h.node_count());
+  std::iota(nodes.begin(), nodes.end(), 0);
+  Digraph current = h;
+
+  auto restrict_to = [](const Digraph& g, const std::vector<uint32_t>& keep) {
+    std::vector<uint32_t> relabel(g.node_count(),
+                                  std::numeric_limits<uint32_t>::max());
+    for (uint32_t i = 0; i < keep.size(); ++i) relabel[keep[i]] = i;
+    Digraph out(static_cast<uint32_t>(keep.size()));
+    for (const auto& [u, v] : g.edges()) {
+      if (relabel[u] != std::numeric_limits<uint32_t>::max() &&
+          relabel[v] != std::numeric_limits<uint32_t>::max()) {
+        out.AddEdge(relabel[u], relabel[v]);
+      }
+    }
+    return out;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t drop = 0; drop < current.node_count(); ++drop) {
+      // Try to map current into current \ {drop}.
+      std::vector<uint32_t> keep;
+      keep.reserve(current.node_count() - 1);
+      for (uint32_t u = 0; u < current.node_count(); ++u) {
+        if (u != drop) keep.push_back(u);
+      }
+      Digraph smaller = restrict_to(current, keep);
+      if (IsHomomorphic(current, smaller)) {
+        std::vector<uint32_t> new_nodes;
+        new_nodes.reserve(keep.size());
+        for (uint32_t u : keep) new_nodes.push_back(nodes[u]);
+        nodes = std::move(new_nodes);
+        current = std::move(smaller);
+        changed = true;
+        break;
+      }
+    }
+  }
+  if (kept_nodes != nullptr) *kept_nodes = nodes;
+  return current;
+}
+
+bool HasCycle(const Digraph& h) {
+  // Kahn's algorithm: a cycle exists iff topological sort is incomplete.
+  std::vector<uint32_t> indegree(h.node_count(), 0);
+  for (const auto& [u, v] : h.edges()) {
+    (void)u;
+    ++indegree[v];
+  }
+  std::deque<uint32_t> queue;
+  for (uint32_t u = 0; u < h.node_count(); ++u) {
+    if (indegree[u] == 0) queue.push_back(u);
+  }
+  uint32_t removed = 0;
+  while (!queue.empty()) {
+    uint32_t u = queue.front();
+    queue.pop_front();
+    ++removed;
+    for (uint32_t v : h.OutNeighbors(u)) {
+      if (--indegree[v] == 0) queue.push_back(v);
+    }
+  }
+  return removed != h.node_count();
+}
+
+Digraph TransitiveReduction(const Digraph& h) {
+  assert(!HasCycle(h) && "transitive reduction requires an acyclic digraph");
+  // An edge (u, v) is redundant iff v is reachable from u without it —
+  // equivalently (DAG) reachable from some other out-neighbor of u.
+  const uint32_t n = h.node_count();
+  // reach[u] = set of nodes reachable from u (inclusive), as bitsets.
+  const size_t words = (n + 63) / 64;
+  std::vector<std::vector<uint64_t>> reach(n,
+                                           std::vector<uint64_t>(words, 0));
+  // Process in reverse topological order.
+  std::vector<uint32_t> order;
+  {
+    std::vector<uint32_t> indegree(n, 0);
+    for (const auto& [u, v] : h.edges()) {
+      (void)u;
+      ++indegree[v];
+    }
+    std::deque<uint32_t> queue;
+    for (uint32_t u = 0; u < n; ++u) {
+      if (indegree[u] == 0) queue.push_back(u);
+    }
+    while (!queue.empty()) {
+      uint32_t u = queue.front();
+      queue.pop_front();
+      order.push_back(u);
+      for (uint32_t v : h.OutNeighbors(u)) {
+        if (--indegree[v] == 0) queue.push_back(v);
+      }
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    uint32_t u = *it;
+    reach[u][u / 64] |= 1ULL << (u % 64);
+    for (uint32_t v : h.OutNeighbors(u)) {
+      for (size_t w = 0; w < words; ++w) reach[u][w] |= reach[v][w];
+    }
+  }
+  Digraph out(n);
+  for (const auto& [u, v] : h.edges()) {
+    bool redundant = false;
+    for (uint32_t w : h.OutNeighbors(u)) {
+      if (w == v) continue;
+      if (reach[w][v / 64] & (1ULL << (v % 64))) {
+        redundant = true;
+        break;
+      }
+    }
+    if (!redundant) out.AddEdge(u, v);
+  }
+  return out;
+}
+
+Graph EncodeAsRdf(const Digraph& h, Dictionary* dict, Term edge_predicate,
+                  std::vector<Term>* node_blanks) {
+  std::vector<Term> blanks;
+  blanks.reserve(h.node_count());
+  for (uint32_t u = 0; u < h.node_count(); ++u) {
+    (void)u;
+    blanks.push_back(dict->FreshBlank());
+  }
+  std::vector<Triple> triples;
+  triples.reserve(h.edge_count());
+  for (const auto& [u, v] : h.edges()) {
+    triples.emplace_back(blanks[u], edge_predicate, blanks[v]);
+  }
+  if (node_blanks != nullptr) *node_blanks = std::move(blanks);
+  return Graph(std::move(triples));
+}
+
+}  // namespace swdb

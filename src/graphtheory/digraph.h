@@ -1,0 +1,96 @@
+#ifndef SWDB_GRAPHTHEORY_DIGRAPH_H_
+#define SWDB_GRAPHTHEORY_DIGRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "rdf/term.h"
+
+namespace swdb {
+
+/// A standard directed graph H = (V, E) with V = {0, ..., node_count-1}
+/// and E ⊆ V × V, as used by the paper's hardness constructions (§2.4).
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(uint32_t node_count) : node_count_(node_count) {}
+  Digraph(uint32_t node_count,
+          std::vector<std::pair<uint32_t, uint32_t>> edges);
+
+  uint32_t node_count() const { return node_count_; }
+  size_t edge_count() const { return edges_.size(); }
+  const std::vector<std::pair<uint32_t, uint32_t>>& edges() const {
+    return edges_;
+  }
+  /// Adds an edge (u, v); duplicates are ignored.
+  void AddEdge(uint32_t u, uint32_t v);
+  bool HasEdge(uint32_t u, uint32_t v) const;
+
+  /// Out-neighbors of u.
+  const std::vector<uint32_t>& OutNeighbors(uint32_t u) const;
+  /// In-neighbors of u.
+  const std::vector<uint32_t>& InNeighbors(uint32_t u) const;
+
+  /// The complete symmetric digraph K_n without self-loops, with both
+  /// edge directions — the standard target for n-colorability via
+  /// homomorphism.
+  static Digraph CompleteSymmetric(uint32_t n);
+
+  /// A symmetric cycle of length n (both directions of each edge).
+  static Digraph SymmetricCycle(uint32_t n);
+
+  /// A directed path 0 → 1 → ... → n-1.
+  static Digraph Path(uint32_t n);
+
+ private:
+  void InvalidateAdjacency();
+  void EnsureAdjacency() const;
+
+  uint32_t node_count_ = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> edges_;  // sorted, unique
+  mutable bool adjacency_valid_ = false;
+  mutable std::vector<std::vector<uint32_t>> out_;
+  mutable std::vector<std::vector<uint32_t>> in_;
+};
+
+/// A homomorphism h : H1 → H2 — h maps nodes so that every edge of H1 is
+/// carried to an edge of H2. Backtracking search with most-constrained-
+/// first ordering; std::nullopt if none exists.
+std::optional<std::vector<uint32_t>> FindGraphHomomorphism(
+    const Digraph& h1, const Digraph& h2);
+
+/// True iff H1 is homomorphic to H2.
+bool IsHomomorphic(const Digraph& h1, const Digraph& h2);
+
+/// True iff H1 and H2 are homomorphically equivalent (maps both ways;
+/// see the proof of paper Thm 2.9(2)).
+bool HomomorphicallyEquivalent(const Digraph& h1, const Digraph& h2);
+
+/// The graph-theoretic core of H: a minimal subgraph of H that is a
+/// homomorphic image of H (Hell–Nešetřil; paper Thm 3.12 reduces to it).
+/// Returned as a Digraph on the retained nodes, relabeled densely; the
+/// retained original node ids are written to kept_nodes if non-null.
+Digraph GraphCore(const Digraph& h, std::vector<uint32_t>* kept_nodes = nullptr);
+
+/// The transitive reduction of an acyclic digraph: the unique minimal
+/// subgraph with the same reachability relation (Aho–Garey–Ullman,
+/// paper Ex. 3.14's cited result). Requires h acyclic.
+Digraph TransitiveReduction(const Digraph& h);
+
+/// True iff h has a directed cycle (self-loops count).
+bool HasCycle(const Digraph& h);
+
+/// enc(H): the RDF encoding of a standard graph used throughout the
+/// paper's hardness proofs (§2.4) — one blank node X_v per node v, one
+/// triple (X_u, e, X_v) per edge, with a single distinguished predicate.
+/// Blank nodes are allocated from dict and returned in node_blanks
+/// (index = node id) if non-null.
+Graph EncodeAsRdf(const Digraph& h, Dictionary* dict, Term edge_predicate,
+                  std::vector<Term>* node_blanks = nullptr);
+
+}  // namespace swdb
+
+#endif  // SWDB_GRAPHTHEORY_DIGRAPH_H_

@@ -1,0 +1,117 @@
+#ifndef SWDB_INFERENCE_CLOSURE_H_
+#define SWDB_INFERENCE_CLOSURE_H_
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "inference/rules.h"
+#include "rdf/graph.h"
+#include "rdf/map.h"
+#include "rdf/term.h"
+
+namespace swdb {
+
+/// Computes RDFS-cl(G): all triples deducible from G by rules (2)–(13)
+/// (paper Def. 2.7), via an indexed semi-naive fixpoint. The closure is
+/// an RDF graph over universe(G) plus the rdfs-vocabulary, of size
+/// Θ(|G|²) in the worst case (paper Thm 3.6(3)).
+///
+/// If `trace` is non-null, one validating RuleApplication is recorded for
+/// every derived (non-input) triple, in derivation order — this is the
+/// rule-step part of a proof of cl(G) from G (Def. 2.5).
+Graph RdfsClosure(const Graph& g,
+                  std::vector<RuleApplication>* trace = nullptr);
+
+/// Reference implementation of RDFS-cl by iterating EnumerateApplications
+/// to fixpoint. Exponentially slower constants; used to cross-check
+/// RdfsClosure in tests.
+Graph RdfsClosureNaive(const Graph& g);
+
+/// A configurable subset of the deductive rules, for ablation studies
+/// and for reproducing the incompleteness of the original W3C rule set
+/// (Note 2.4). The default is the full system of §2.3.2.
+struct RuleSet {
+  bool sp_transitivity = true;  ///< rule (2)
+  bool sp_inheritance = true;   ///< rule (3)
+  bool sc_transitivity = true;  ///< rule (4)
+  bool sc_typing = true;        ///< rule (5)
+  bool dom_typing = true;       ///< rule (6), direct part (C = A)
+  bool range_typing = true;     ///< rule (7), direct part (C = A)
+  bool reflexivity = true;      ///< rules (8)–(13)
+  /// The (C, sp, A) premise Marin added to rules (6)/(7) (Note 2.4).
+  /// With this off, dom/range typing only fires on direct uses of the
+  /// property — the original, incomplete W3C behaviour.
+  bool marin_subproperty_typing = true;
+
+  static RuleSet All() { return RuleSet(); }
+  /// The pre-Marin system: dom/range typing without sp-lifting.
+  static RuleSet PreMarin() {
+    RuleSet r;
+    r.marin_subproperty_typing = false;
+    return r;
+  }
+};
+
+/// RDFS-cl computed with a rule subset. Traces are not supported here
+/// (ablated closures can have underivable premises); use RdfsClosure for
+/// proof-grade traces.
+Graph RdfsClosureWithRules(const Graph& g, const RuleSet& rules);
+
+/// Computes the semantic closure cl(G) of Def. 3.5: for ground graphs
+/// the maximal equivalent ground extension, in general H_* where H is a
+/// closure of the Skolemization G^*. Theorem 3.6(2) states
+/// cl(G) = RDFS-cl(G); this function computes the left-hand side by its
+/// definition (Skolemize → close → de-Skolemize) so tests can verify the
+/// theorem against RdfsClosure.
+Graph SemanticClosure(const Graph& g, Dictionary* dict);
+
+/// Decides t ∈ cl(G) without materializing the closure, per query in
+/// O(|G|) after an O(|G|) setup — the shape of paper Thm 3.6(4).
+///
+/// The direct decision procedure is valid when no URI is an explicit
+/// proper sp-ancestor of the reserved vocabulary (e.g. a triple
+/// (p, sp, sp) would let rule (3) derive brand-new sp edges). Such
+/// pathological graphs are detected at construction and answered from a
+/// materialized closure instead (IsDirect() reports which mode is used).
+class ClosureMembership {
+ public:
+  explicit ClosureMembership(const Graph& g);
+
+  /// True iff t ∈ RDFS-cl(g).
+  bool Contains(const Triple& t) const;
+
+  /// True if the linear-time direct procedure is in use (no materialized
+  /// closure).
+  bool IsDirect() const { return direct_; }
+
+ private:
+  bool DirectContains(const Triple& t) const;
+  // Reachability a →* b in the given forward-adjacency relation.
+  bool Reaches(const std::unordered_map<Term, std::vector<Term>>& fwd,
+               Term a, Term b) const;
+
+  const Graph* g_;
+  bool direct_ = true;
+
+  // Direct mode state.
+  std::unordered_map<Term, std::vector<Term>> sp_fwd_;
+  std::unordered_map<Term, std::vector<Term>> sc_fwd_;
+  std::unordered_set<Term> props_;    // terms with (t,sp,t) in cl(G)
+  std::unordered_set<Term> classes_;  // terms with (t,sc,t) in cl(G)
+
+  // Fallback mode state.
+  std::optional<Graph> materialized_;
+};
+
+/// RDFS entailment g1 ⊨ g2, characterized by the existence of a map
+/// g2 → RDFS-cl(g1) (paper Thm 2.8(1)).
+bool RdfsEntails(const Graph& g1, const Graph& g2);
+
+/// RDFS equivalence: entailment in both directions (paper §2.3.1).
+bool RdfsEquivalent(const Graph& g1, const Graph& g2);
+
+}  // namespace swdb
+
+#endif  // SWDB_INFERENCE_CLOSURE_H_

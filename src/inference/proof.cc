@@ -1,0 +1,64 @@
+#include "inference/proof.h"
+
+#include "inference/closure.h"
+#include "rdf/hom.h"
+#include "util/str.h"
+
+namespace swdb {
+
+Status CheckProof(const Proof& proof) {
+  Graph current = proof.start;
+  size_t index = 0;
+  for (const ProofStep& step : proof.steps) {
+    ++index;
+    if (const RuleStep* rs = std::get_if<RuleStep>(&step)) {
+      Status valid = ValidateApplication(rs->application);
+      if (!valid.ok()) return valid;
+      for (const Triple& premise : rs->application.premises) {
+        if (!current.Contains(premise)) {
+          return Status::InvalidArgument(
+              NumberedName("proof step ", index) +
+              ": premise not present in current graph");
+        }
+      }
+      for (const Triple& conclusion : rs->application.conclusions) {
+        current.Insert(conclusion);
+      }
+    } else {
+      const MapStep& ms = std::get<MapStep>(step);
+      if (!ms.mu.Apply(ms.result).IsSubgraphOf(current)) {
+        return Status::InvalidArgument(
+            NumberedName("proof step ", index) +
+            ": map step image is not a subgraph of the current graph");
+      }
+      current = ms.result;
+    }
+  }
+  if (current != proof.goal) {
+    return Status::InvalidArgument("proof does not end at the goal graph");
+  }
+  return Status::OK();
+}
+
+Result<Proof> ProveEntailment(const Graph& g1, const Graph& g2) {
+  Proof proof;
+  proof.start = g1;
+  proof.goal = g2;
+
+  std::vector<RuleApplication> trace;
+  Graph closure = RdfsClosure(g1, &trace);
+
+  Result<std::optional<TermMap>> hom = FindHomomorphism(g2, closure);
+  if (!hom.ok()) return hom.status();
+  if (!hom->has_value()) {
+    return Status::NotFound("g1 does not entail g2: no map into RDFS-cl(g1)");
+  }
+
+  for (RuleApplication& app : trace) {
+    proof.steps.push_back(RuleStep{std::move(app)});
+  }
+  proof.steps.push_back(MapStep{**hom, g2});
+  return proof;
+}
+
+}  // namespace swdb

@@ -1,0 +1,52 @@
+#ifndef SWDB_INFERENCE_PROOF_H_
+#define SWDB_INFERENCE_PROOF_H_
+
+#include <variant>
+#include <vector>
+
+#include "inference/rules.h"
+#include "rdf/graph.h"
+#include "rdf/map.h"
+#include "util/status.h"
+
+namespace swdb {
+
+/// One step of a proof G ⊢ H (paper Def. 2.5). Either:
+///  - a rule step: P_j = P_{j-1} ∪ R' for an instantiation R/R' of one of
+///    the rules (2)–(13) with R ⊆ P_{j-1}; or
+///  - a map step (rule (1), Group A): P_j is any graph with a map
+///    μ : P_j → P_{j-1}. In a proof object the resulting graph is stored
+///    explicitly together with the witnessing map.
+struct RuleStep {
+  RuleApplication application;
+};
+struct MapStep {
+  TermMap mu;       ///< map with mu(result) ⊆ previous graph
+  Graph result;     ///< the graph P_j this step transitions to
+};
+using ProofStep = std::variant<RuleStep, MapStep>;
+
+/// A proof of `goal` from `start`: the sequence of graphs P_1 = start,
+/// ..., P_k = goal is reconstructed by replaying the steps.
+struct Proof {
+  Graph start;
+  Graph goal;
+  std::vector<ProofStep> steps;
+};
+
+/// Checks a proof object against Def. 2.5: every rule step's premises are
+/// present and its instantiation validates; every map step's map sends
+/// its result graph into the previous graph; and the final graph equals
+/// the goal. Runs in time polynomial in the proof size — this is the
+/// polynomial witness check of Thm 2.10.
+Status CheckProof(const Proof& proof);
+
+/// Constructs a proof of g2 from g1, or NotFound if g1 ⊭ g2. The proof
+/// has the canonical shape from the proof of Thm 2.10: the rule steps of
+/// the closure computation RDFS-cl(g1), followed by one map step
+/// μ : g2 → RDFS-cl(g1).
+Result<Proof> ProveEntailment(const Graph& g1, const Graph& g2);
+
+}  // namespace swdb
+
+#endif  // SWDB_INFERENCE_PROOF_H_

@@ -1,0 +1,227 @@
+#include "inference/rules.h"
+
+#include <algorithm>
+
+namespace swdb {
+
+using vocab::kDom;
+using vocab::kRange;
+using vocab::kSc;
+using vocab::kSp;
+using vocab::kType;
+
+std::string RuleName(RuleId rule) {
+  switch (rule) {
+    case RuleId::kExistential:
+      return "(1) existential";
+    case RuleId::kSpTransitivity:
+      return "(2) sp-transitivity";
+    case RuleId::kSpInheritance:
+      return "(3) sp-inheritance";
+    case RuleId::kScTransitivity:
+      return "(4) sc-transitivity";
+    case RuleId::kScTyping:
+      return "(5) sc-typing";
+    case RuleId::kDomTyping:
+      return "(6) dom-typing";
+    case RuleId::kRangeTyping:
+      return "(7) range-typing";
+    case RuleId::kSpReflexFromUse:
+      return "(8) sp-reflexivity-from-use";
+    case RuleId::kSpReflexVocab:
+      return "(9) sp-reflexivity-vocab";
+    case RuleId::kSpReflexDomRange:
+      return "(10) sp-reflexivity-dom-range";
+    case RuleId::kSpReflexPair:
+      return "(11) sp-reflexivity-pair";
+    case RuleId::kScReflexFromUse:
+      return "(12) sc-reflexivity-from-use";
+    case RuleId::kScReflexPair:
+      return "(13) sc-reflexivity-pair";
+  }
+  return "(?)";
+}
+
+namespace {
+
+Status Bad(const RuleApplication& app, const std::string& why) {
+  return Status::InvalidArgument("rule " + RuleName(app.rule) + ": " + why);
+}
+
+bool AllWellFormed(const std::vector<Triple>& ts) {
+  return std::all_of(ts.begin(), ts.end(),
+                     [](const Triple& t) { return t.IsWellFormedData(); });
+}
+
+}  // namespace
+
+Status ValidateApplication(const RuleApplication& app) {
+  if (!AllWellFormed(app.premises) || !AllWellFormed(app.conclusions)) {
+    return Bad(app, "ill-formed triple in instantiation");
+  }
+  const auto& pr = app.premises;
+  const auto& co = app.conclusions;
+  auto need = [&](bool cond, const char* why) -> Status {
+    return cond ? Status::OK() : Bad(app, why);
+  };
+  switch (app.rule) {
+    case RuleId::kExistential:
+      return Bad(app, "rule (1) is a map step, not a triple-adding rule");
+    case RuleId::kSpTransitivity: {
+      if (pr.size() != 2 || co.size() != 1) return Bad(app, "arity");
+      const Triple &t1 = pr[0], &t2 = pr[1], &c = co[0];
+      return need(t1.p == kSp && t2.p == kSp && c.p == kSp &&
+                      t1.o == t2.s && c.s == t1.s && c.o == t2.o,
+                  "(A,sp,B),(B,sp,C) => (A,sp,C) shape mismatch");
+    }
+    case RuleId::kSpInheritance: {
+      if (pr.size() != 2 || co.size() != 1) return Bad(app, "arity");
+      const Triple &t1 = pr[0], &t2 = pr[1], &c = co[0];
+      return need(t1.p == kSp && t2.p == t1.s && c.p == t1.o &&
+                      c.s == t2.s && c.o == t2.o,
+                  "(A,sp,B),(X,A,Y) => (X,B,Y) shape mismatch");
+    }
+    case RuleId::kScTransitivity: {
+      if (pr.size() != 2 || co.size() != 1) return Bad(app, "arity");
+      const Triple &t1 = pr[0], &t2 = pr[1], &c = co[0];
+      return need(t1.p == kSc && t2.p == kSc && c.p == kSc &&
+                      t1.o == t2.s && c.s == t1.s && c.o == t2.o,
+                  "(A,sc,B),(B,sc,C) => (A,sc,C) shape mismatch");
+    }
+    case RuleId::kScTyping: {
+      if (pr.size() != 2 || co.size() != 1) return Bad(app, "arity");
+      const Triple &t1 = pr[0], &t2 = pr[1], &c = co[0];
+      return need(t1.p == kSc && t2.p == kType && t2.o == t1.s &&
+                      c.p == kType && c.s == t2.s && c.o == t1.o,
+                  "(A,sc,B),(X,type,A) => (X,type,B) shape mismatch");
+    }
+    case RuleId::kDomTyping: {
+      if (pr.size() != 3 || co.size() != 1) return Bad(app, "arity");
+      const Triple &t1 = pr[0], &t2 = pr[1], &t3 = pr[2], &c = co[0];
+      return need(t1.p == kDom && t2.p == kSp && t2.o == t1.s &&
+                      t3.p == t2.s && c.p == kType && c.s == t3.s &&
+                      c.o == t1.o,
+                  "(A,dom,B),(C,sp,A),(X,C,Y) => (X,type,B) shape mismatch");
+    }
+    case RuleId::kRangeTyping: {
+      if (pr.size() != 3 || co.size() != 1) return Bad(app, "arity");
+      const Triple &t1 = pr[0], &t2 = pr[1], &t3 = pr[2], &c = co[0];
+      return need(t1.p == kRange && t2.p == kSp && t2.o == t1.s &&
+                      t3.p == t2.s && c.p == kType && c.s == t3.o &&
+                      c.o == t1.o,
+                  "(A,range,B),(C,sp,A),(X,C,Y) => (Y,type,B) shape mismatch");
+    }
+    case RuleId::kSpReflexFromUse: {
+      if (pr.size() != 1 || co.size() != 1) return Bad(app, "arity");
+      const Triple &t = pr[0], &c = co[0];
+      return need(c.p == kSp && c.s == t.p && c.o == t.p,
+                  "(X,A,Y) => (A,sp,A) shape mismatch");
+    }
+    case RuleId::kSpReflexVocab: {
+      if (!pr.empty() || co.size() != 1) return Bad(app, "arity");
+      const Triple& c = co[0];
+      return need(c.p == kSp && c.s == c.o && vocab::IsRdfsVocab(c.s),
+                  "=> (p,sp,p), p in rdfsV shape mismatch");
+    }
+    case RuleId::kSpReflexDomRange: {
+      if (pr.size() != 1 || co.size() != 1) return Bad(app, "arity");
+      const Triple &t = pr[0], &c = co[0];
+      return need((t.p == kDom || t.p == kRange) && c.p == kSp &&
+                      c.s == t.s && c.o == t.s,
+                  "(A,p,X) => (A,sp,A), p in {dom,range} shape mismatch");
+    }
+    case RuleId::kSpReflexPair: {
+      if (pr.size() != 1 || co.size() != 2) return Bad(app, "arity");
+      const Triple &t = pr[0], &c1 = co[0], &c2 = co[1];
+      return need(t.p == kSp && c1.p == kSp && c2.p == kSp && c1.s == t.s &&
+                      c1.o == t.s && c2.s == t.o && c2.o == t.o,
+                  "(A,sp,B) => (A,sp,A),(B,sp,B) shape mismatch");
+    }
+    case RuleId::kScReflexFromUse: {
+      if (pr.size() != 1 || co.size() != 1) return Bad(app, "arity");
+      const Triple &t = pr[0], &c = co[0];
+      return need((t.p == kDom || t.p == kRange || t.p == kType) &&
+                      c.p == kSc && c.s == t.o && c.o == t.o,
+                  "(X,p,A) => (A,sc,A), p in {dom,range,type} shape mismatch");
+    }
+    case RuleId::kScReflexPair: {
+      if (pr.size() != 1 || co.size() != 2) return Bad(app, "arity");
+      const Triple &t = pr[0], &c1 = co[0], &c2 = co[1];
+      return need(t.p == kSc && c1.p == kSc && c2.p == kSc && c1.s == t.s &&
+                      c1.o == t.s && c2.s == t.o && c2.o == t.o,
+                  "(A,sc,B) => (A,sc,A),(B,sc,B) shape mismatch");
+    }
+  }
+  return Bad(app, "unknown rule id");
+}
+
+std::vector<RuleApplication> EnumerateApplications(const Graph& g) {
+  std::vector<RuleApplication> out;
+  auto emit = [&](RuleId rule, std::vector<Triple> premises,
+                  std::vector<Triple> conclusions) {
+    bool all_known = std::all_of(
+        conclusions.begin(), conclusions.end(),
+        [&g](const Triple& t) { return g.Contains(t); });
+    bool well_formed = AllWellFormed(conclusions);
+    if (all_known || !well_formed) return;
+    out.push_back(RuleApplication{rule, std::move(premises),
+                                  std::move(conclusions)});
+  };
+
+  // Rule (9): no premises.
+  for (Term v : vocab::kAll) {
+    emit(RuleId::kSpReflexVocab, {}, {Triple(v, kSp, v)});
+  }
+
+  for (const Triple& t1 : g) {
+    // Unary-premise rules.
+    emit(RuleId::kSpReflexFromUse, {t1}, {Triple(t1.p, kSp, t1.p)});
+    if (t1.p == kDom || t1.p == kRange) {
+      emit(RuleId::kSpReflexDomRange, {t1}, {Triple(t1.s, kSp, t1.s)});
+    }
+    if (t1.p == kDom || t1.p == kRange || t1.p == kType) {
+      emit(RuleId::kScReflexFromUse, {t1}, {Triple(t1.o, kSc, t1.o)});
+    }
+    if (t1.p == kSp) {
+      emit(RuleId::kSpReflexPair, {t1},
+           {Triple(t1.s, kSp, t1.s), Triple(t1.o, kSp, t1.o)});
+    }
+    if (t1.p == kSc) {
+      emit(RuleId::kScReflexPair, {t1},
+           {Triple(t1.s, kSc, t1.s), Triple(t1.o, kSc, t1.o)});
+    }
+
+    // Binary-premise rules.
+    for (const Triple& t2 : g) {
+      if (t1.p == kSp && t2.p == kSp && t1.o == t2.s) {
+        emit(RuleId::kSpTransitivity, {t1, t2}, {Triple(t1.s, kSp, t2.o)});
+      }
+      if (t1.p == kSp && t2.p == t1.s) {
+        emit(RuleId::kSpInheritance, {t1, t2}, {Triple(t2.s, t1.o, t2.o)});
+      }
+      if (t1.p == kSc && t2.p == kSc && t1.o == t2.s) {
+        emit(RuleId::kScTransitivity, {t1, t2}, {Triple(t1.s, kSc, t2.o)});
+      }
+      if (t1.p == kSc && t2.p == kType && t2.o == t1.s) {
+        emit(RuleId::kScTyping, {t1, t2}, {Triple(t2.s, kType, t1.o)});
+      }
+
+      // Ternary-premise rules (6)/(7): t1 = (A,dom/range,B), t2 = (C,sp,A).
+      if ((t1.p == kDom || t1.p == kRange) && t2.p == kSp && t2.o == t1.s) {
+        for (const Triple& t3 : g) {
+          if (t3.p != t2.s) continue;
+          if (t1.p == kDom) {
+            emit(RuleId::kDomTyping, {t1, t2, t3},
+                 {Triple(t3.s, kType, t1.o)});
+          } else {
+            emit(RuleId::kRangeTyping, {t1, t2, t3},
+                 {Triple(t3.o, kType, t1.o)});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace swdb

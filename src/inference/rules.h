@@ -1,0 +1,58 @@
+#ifndef SWDB_INFERENCE_RULES_H_
+#define SWDB_INFERENCE_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace swdb {
+
+/// The deductive rules of the paper's §2.3.2, numbered as there.
+/// Rule (1) (Group A, existential) is represented separately by a map
+/// step in proofs; rules (2)–(13) add triples and are enumerated here.
+enum class RuleId : int {
+  kExistential = 1,       ///< Group A: G ⊢ G' when there is a map G' → G
+  kSpTransitivity = 2,    ///< (A,sp,B),(B,sp,C) ⊢ (A,sp,C)
+  kSpInheritance = 3,     ///< (A,sp,B),(X,A,Y) ⊢ (X,B,Y)
+  kScTransitivity = 4,    ///< (A,sc,B),(B,sc,C) ⊢ (A,sc,C)
+  kScTyping = 5,          ///< (A,sc,B),(X,type,A) ⊢ (X,type,B)
+  kDomTyping = 6,         ///< (A,dom,B),(C,sp,A),(X,C,Y) ⊢ (X,type,B)
+  kRangeTyping = 7,       ///< (A,range,B),(C,sp,A),(X,C,Y) ⊢ (Y,type,B)
+  kSpReflexFromUse = 8,   ///< (X,A,Y) ⊢ (A,sp,A)
+  kSpReflexVocab = 9,     ///< ⊢ (p,sp,p) for p ∈ rdfsV
+  kSpReflexDomRange = 10, ///< (A,p,X) ⊢ (A,sp,A) for p ∈ {dom,range}
+  kSpReflexPair = 11,     ///< (A,sp,B) ⊢ (A,sp,A),(B,sp,B)
+  kScReflexFromUse = 12,  ///< (X,p,A) ⊢ (A,sc,A) for p ∈ {dom,range,type}
+  kScReflexPair = 13,     ///< (A,sc,B) ⊢ (A,sc,A),(B,sc,B)
+};
+
+/// Short human-readable name of a rule, e.g. "(2) sp-transitivity".
+std::string RuleName(RuleId rule);
+
+/// One instantiation of a rule (2)–(13): concrete premise triples (which
+/// must belong to the graph the rule is applied to) and the concrete
+/// conclusion triples it adds. Conclusions of rules (11)/(13) have two
+/// triples; rule (9) has no premises.
+struct RuleApplication {
+  RuleId rule = RuleId::kSpTransitivity;
+  std::vector<Triple> premises;
+  std::vector<Triple> conclusions;
+};
+
+/// Verifies that `app` is a correct instantiation of its rule schema:
+/// premise/conclusion shapes match, shared variables are instantiated
+/// uniformly, and every triple is a well-formed RDF triple (no blank in
+/// predicate position; paper §2.3.2, "instantiation").
+Status ValidateApplication(const RuleApplication& app);
+
+/// Enumerates every application of rules (2)–(13) whose premises are in
+/// `g` and whose conclusion set is not already fully contained in `g`.
+/// Intended for small graphs (reference implementation and tests); the
+/// production closure in closure.h uses an indexed semi-naive fixpoint.
+std::vector<RuleApplication> EnumerateApplications(const Graph& g);
+
+}  // namespace swdb
+
+#endif  // SWDB_INFERENCE_RULES_H_

@@ -1,0 +1,75 @@
+#include "model/canonical.h"
+
+#include <unordered_map>
+
+#include "inference/closure.h"
+#include "rdf/map.h"
+
+namespace swdb {
+
+namespace {
+
+// Builds the interpretation whose resources are the universe of `data`
+// (plus the reserved vocabulary when with_rdfs), Int the identity on
+// URIs, and PExt/CExt/Prop/Class read off the triples of `data`.
+Interpretation FromTriples(const Graph& data, bool with_rdfs,
+                           std::vector<Term>* universe_out) {
+  std::vector<Term> universe = data.Universe();
+  if (with_rdfs) {
+    for (Term v : vocab::kAll) universe.push_back(v);
+    std::sort(universe.begin(), universe.end());
+    universe.erase(std::unique(universe.begin(), universe.end()),
+                   universe.end());
+  }
+  std::unordered_map<Term, uint32_t> index;
+  for (uint32_t i = 0; i < universe.size(); ++i) index[universe[i]] = i;
+
+  Interpretation interp(static_cast<uint32_t>(universe.size()));
+  for (Term t : universe) {
+    if (t.IsIri()) interp.SetInt(t, index[t]);
+  }
+  if (with_rdfs) {
+    // Prop = {r : (r,sp,r) ∈ data}; Class = {c : (c,sc,c) ∈ data}.
+    for (const Triple& t : data) {
+      if (t.p == vocab::kSp && t.s == t.o) interp.MarkProp(index[t.s]);
+      if (t.p == vocab::kSc && t.s == t.o) interp.MarkClass(index[t.s]);
+    }
+  } else {
+    for (const Triple& t : data) interp.MarkProp(index[t.p]);
+  }
+  for (const Triple& t : data) {
+    interp.AddPExt(index[t.p], index[t.s], index[t.o]);
+    if (with_rdfs && t.p == vocab::kType) {
+      interp.AddCExt(index[t.o], index[t.s]);
+    }
+  }
+  if (universe_out != nullptr) *universe_out = std::move(universe);
+  return interp;
+}
+
+}  // namespace
+
+Interpretation TermModel(const Graph& g, std::vector<Term>* universe_out) {
+  return FromTriples(g, /*with_rdfs=*/false, universe_out);
+}
+
+Interpretation CanonicalModel(const Graph& g, Dictionary* dict,
+                              std::vector<Term>* universe_out) {
+  TermMap sk;
+  Graph skolemized = Skolemize(g, dict, &sk);
+  Graph closure = RdfsClosure(skolemized);
+  return FromTriples(closure, /*with_rdfs=*/true, universe_out);
+}
+
+bool SemanticSimpleEntails(const Graph& g1, const Graph& g2) {
+  Interpretation term_model = TermModel(g1);
+  return SatisfiesSimple(term_model, g2);
+}
+
+bool SemanticRdfsEntails(const Graph& g1, const Graph& g2,
+                         Dictionary* dict) {
+  Interpretation canonical = CanonicalModel(g1, dict);
+  return SatisfiesSimple(canonical, g2);
+}
+
+}  // namespace swdb

@@ -1,0 +1,39 @@
+#ifndef SWDB_MODEL_CANONICAL_H_
+#define SWDB_MODEL_CANONICAL_H_
+
+#include <vector>
+
+#include "model/interpretation.h"
+#include "rdf/graph.h"
+#include "rdf/term.h"
+
+namespace swdb {
+
+/// The term model of a simple graph g: Res = universe(g), Int = identity
+/// on voc(g), Prop = predicates of g, PExt(p) = {(s,o) : (s,p,o) ∈ g}
+/// (blank nodes become anonymous resources). This is the universal model
+/// for simple entailment: g ⊨ h iff TermModel(g) satisfies h.
+/// `universe_out`, if non-null, receives the term at each resource index.
+Interpretation TermModel(const Graph& g,
+                         std::vector<Term>* universe_out = nullptr);
+
+/// The canonical RDFS interpretation of a (general) graph g, built from
+/// the Skolemized closure RDFS-cl(g^*): resources are the universe of the
+/// closure plus the reserved vocabulary; Prop = {r : (r,sp,r) ∈ cl},
+/// Class = {c : (c,sc,c) ∈ cl}; PExt and CExt read off the closure's
+/// triples. By soundness and completeness (paper Thm 2.6 + 2.8) this
+/// interpretation is universal: g ⊨ h iff CanonicalModel(g) satisfies h.
+Interpretation CanonicalModel(const Graph& g, Dictionary* dict,
+                              std::vector<Term>* universe_out = nullptr);
+
+/// Semantic simple entailment via the term model; cross-checks
+/// SimpleEntails (rdf/hom.h) in tests.
+bool SemanticSimpleEntails(const Graph& g1, const Graph& g2);
+
+/// Semantic RDFS entailment via the canonical model; cross-checks
+/// RdfsEntails (inference/closure.h) in tests.
+bool SemanticRdfsEntails(const Graph& g1, const Graph& g2, Dictionary* dict);
+
+}  // namespace swdb
+
+#endif  // SWDB_MODEL_CANONICAL_H_

@@ -1,0 +1,199 @@
+#include "model/interpretation.h"
+
+#include <cassert>
+
+namespace swdb {
+
+namespace {
+uint64_t Pack(uint32_t x, uint32_t y) {
+  return (static_cast<uint64_t>(x) << 32) | y;
+}
+}  // namespace
+
+Interpretation::Interpretation(uint32_t domain_size)
+    : domain_size_(domain_size),
+      is_prop_(domain_size, 0),
+      is_class_(domain_size, 0),
+      pext_(domain_size),
+      cext_(domain_size) {}
+
+void Interpretation::MarkProp(uint32_t r) {
+  assert(r < domain_size_);
+  is_prop_[r] = 1;
+}
+
+void Interpretation::MarkClass(uint32_t r) {
+  assert(r < domain_size_);
+  is_class_[r] = 1;
+}
+
+void Interpretation::AddPExt(uint32_t r, uint32_t x, uint32_t y) {
+  assert(r < domain_size_ && x < domain_size_ && y < domain_size_);
+  assert(is_prop_[r] && "PExt is only defined on Prop");
+  pext_[r].insert(Pack(x, y));
+}
+
+bool Interpretation::InPExt(uint32_t r, uint32_t x, uint32_t y) const {
+  return r < domain_size_ && pext_[r].count(Pack(x, y)) > 0;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> Interpretation::PExtPairs(
+    uint32_t r) const {
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  out.reserve(pext_[r].size());
+  for (uint64_t packed : pext_[r]) {
+    out.emplace_back(static_cast<uint32_t>(packed >> 32),
+                     static_cast<uint32_t>(packed & 0xffffffffu));
+  }
+  return out;
+}
+
+void Interpretation::AddCExt(uint32_t r, uint32_t x) {
+  assert(r < domain_size_ && x < domain_size_);
+  assert(is_class_[r] && "CExt is only defined on Class");
+  cext_[r].insert(x);
+}
+
+bool Interpretation::InCExt(uint32_t r, uint32_t x) const {
+  return r < domain_size_ && cext_[r].count(x) > 0;
+}
+
+void Interpretation::SetInt(Term u, uint32_t r) {
+  assert(u.IsIri() && r < domain_size_);
+  int_[u] = r;
+}
+
+uint32_t Interpretation::Int(Term u) const {
+  auto it = int_.find(u);
+  assert(it != int_.end() && "URI without an Int assignment");
+  return it->second;
+}
+
+Status Interpretation::CheckRdfsConditions() const {
+  auto fail = [](const std::string& cond) {
+    return Status::InvalidArgument("RDFS condition violated: " + cond);
+  };
+  for (Term v : vocab::kAll) {
+    if (!HasInt(v)) return fail("vocabulary URI lacks Int assignment");
+    if (!is_prop_[Int(v)]) return fail("Int(rdfsV) not in Prop");
+  }
+  const uint32_t sp = Int(vocab::kSp);
+  const uint32_t sc = Int(vocab::kSc);
+  const uint32_t ty = Int(vocab::kType);
+  const uint32_t dom = Int(vocab::kDom);
+  const uint32_t range = Int(vocab::kRange);
+
+  // Properties and classes: PExt(dom) ∪ PExt(range) ⊆ Prop × Class.
+  for (uint32_t r : {dom, range}) {
+    for (const auto& [x, y] : PExtPairs(r)) {
+      if (!is_prop_[x]) return fail("dom/range subject not in Prop");
+      if (!is_class_[y]) return fail("dom/range object not in Class");
+    }
+  }
+
+  // Subproperty: PExt(sp) transitive and reflexive over Prop; pairs in
+  // Prop × Prop with extension inclusion.
+  for (uint32_t r = 0; r < domain_size_; ++r) {
+    if (is_prop_[r] && !InPExt(sp, r, r)) {
+      return fail("PExt(sp) not reflexive over Prop");
+    }
+  }
+  for (const auto& [x, y] : PExtPairs(sp)) {
+    if (!is_prop_[x] || !is_prop_[y]) return fail("sp pair not in Prop");
+    for (uint64_t packed : pext_[x]) {
+      if (!pext_[y].count(packed)) return fail("sp without PExt inclusion");
+    }
+    for (const auto& [y2, z] : PExtPairs(sp)) {
+      if (y2 == y && !InPExt(sp, x, z)) return fail("PExt(sp) not transitive");
+    }
+  }
+
+  // Subclass: analogous with CExt.
+  for (uint32_t r = 0; r < domain_size_; ++r) {
+    if (is_class_[r] && !InPExt(sc, r, r)) {
+      return fail("PExt(sc) not reflexive over Class");
+    }
+  }
+  for (const auto& [x, y] : PExtPairs(sc)) {
+    if (!is_class_[x] || !is_class_[y]) return fail("sc pair not in Class");
+    for (uint32_t member : cext_[x]) {
+      if (!cext_[y].count(member)) return fail("sc without CExt inclusion");
+    }
+    for (const auto& [y2, z] : PExtPairs(sc)) {
+      if (y2 == y && !InPExt(sc, x, z)) return fail("PExt(sc) not transitive");
+    }
+  }
+
+  // Typing: (x,y) ∈ PExt(type) iff y ∈ Class and x ∈ CExt(y).
+  for (const auto& [x, y] : PExtPairs(ty)) {
+    if (!is_class_[y] || !InCExt(y, x)) {
+      return fail("PExt(type) pair without CExt membership");
+    }
+  }
+  for (uint32_t y = 0; y < domain_size_; ++y) {
+    if (!is_class_[y]) continue;
+    for (uint32_t x : cext_[y]) {
+      if (!InPExt(ty, x, y)) {
+        return fail("CExt membership missing from PExt(type)");
+      }
+    }
+  }
+  // dom/range propagation into CExt.
+  for (const auto& [x, y] : PExtPairs(dom)) {
+    for (const auto& [u, v] : PExtPairs(x)) {
+      (void)v;
+      if (!InCExt(y, u)) return fail("dom: subject not in CExt of domain");
+    }
+  }
+  for (const auto& [x, y] : PExtPairs(range)) {
+    for (const auto& [u, v] : PExtPairs(x)) {
+      (void)u;
+      if (!InCExt(y, v)) return fail("range: object not in CExt of range");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Recursive search for a blank-node assignment A : blanks(g) → Res.
+bool SearchAssignment(const Interpretation& i, const Graph& g,
+                      const std::vector<Term>& blanks, size_t index,
+                      std::unordered_map<Term, uint32_t>* assignment) {
+  if (index == blanks.size()) {
+    for (const Triple& t : g) {
+      if (!t.p.IsIri() || !i.HasInt(t.p)) return false;
+      uint32_t p = i.Int(t.p);
+      if (!i.IsProp(p)) return false;
+      auto value = [&](Term x) -> uint32_t {
+        return x.IsBlank() ? assignment->at(x) : i.Int(x);
+      };
+      if (!i.InPExt(p, value(t.s), value(t.o))) return false;
+    }
+    return true;
+  }
+  for (uint32_t r = 0; r < i.domain_size(); ++r) {
+    (*assignment)[blanks[index]] = r;
+    if (SearchAssignment(i, g, blanks, index + 1, assignment)) return true;
+  }
+  assignment->erase(blanks[index]);
+  return false;
+}
+
+}  // namespace
+
+bool SatisfiesSimple(const Interpretation& i, const Graph& g) {
+  // Every URI of the graph must be interpreted.
+  for (Term u : g.Vocabulary()) {
+    if (!i.HasInt(u)) return false;
+  }
+  std::vector<Term> blanks = g.BlankNodes();
+  std::unordered_map<Term, uint32_t> assignment;
+  return SearchAssignment(i, g, blanks, 0, &assignment);
+}
+
+bool Models(const Interpretation& i, const Graph& g) {
+  return i.CheckRdfsConditions().ok() && SatisfiesSimple(i, g);
+}
+
+}  // namespace swdb

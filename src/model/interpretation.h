@@ -1,0 +1,81 @@
+#ifndef SWDB_MODEL_INTERPRETATION_H_
+#define SWDB_MODEL_INTERPRETATION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace swdb {
+
+/// A finite RDF interpretation I = (Res, Prop, Class, PExt, CExt, Int)
+/// (paper §2.3.1), with Res = {0, ..., domain_size-1} and the harmless
+/// normalization Prop ⊆ Res (property names that interact with the
+/// dom/range/sp closure conditions must be resources anyway).
+///
+/// This module exists to cross-check the deductive machinery against the
+/// paper's model theory: tests verify that the closure-derived canonical
+/// interpretation really satisfies all interpretation conditions, and
+/// that the map-based simple entailment agrees with term-model semantics.
+class Interpretation {
+ public:
+  explicit Interpretation(uint32_t domain_size);
+
+  uint32_t domain_size() const { return domain_size_; }
+
+  /// Declares r ∈ Prop / r ∈ Class.
+  void MarkProp(uint32_t r);
+  void MarkClass(uint32_t r);
+  bool IsProp(uint32_t r) const { return is_prop_[r]; }
+  bool IsClass(uint32_t r) const { return is_class_[r]; }
+
+  /// Adds (x, y) to PExt(r). Requires r ∈ Prop.
+  void AddPExt(uint32_t r, uint32_t x, uint32_t y);
+  bool InPExt(uint32_t r, uint32_t x, uint32_t y) const;
+  /// All pairs in PExt(r).
+  std::vector<std::pair<uint32_t, uint32_t>> PExtPairs(uint32_t r) const;
+
+  /// Adds x to CExt(r). Requires r ∈ Class.
+  void AddCExt(uint32_t r, uint32_t x);
+  bool InCExt(uint32_t r, uint32_t x) const;
+
+  /// Sets Int(u) = r for a URI term u.
+  void SetInt(Term u, uint32_t r);
+  /// Int(u); the URI must have been assigned.
+  uint32_t Int(Term u) const;
+  bool HasInt(Term u) const { return int_.count(u) > 0; }
+
+  /// Checks all the RDFS interpretation conditions of §2.3.1 other than
+  /// the graph-specific simple-interpretation condition: properties &
+  /// classes, subproperty, subclass, and typing. Returns OK or a status
+  /// describing the first violated condition. The five vocabulary URIs
+  /// must have Int assignments.
+  Status CheckRdfsConditions() const;
+
+ private:
+  uint32_t domain_size_;
+  std::vector<char> is_prop_;
+  std::vector<char> is_class_;
+  std::vector<std::unordered_set<uint64_t>> pext_;  // packed (x<<32)|y
+  std::vector<std::unordered_set<uint32_t>> cext_;
+  std::unordered_map<Term, uint32_t> int_;
+};
+
+/// Tests the simple-interpretation condition (paper §2.3.1): whether
+/// there exists A : blanks(g) → Res with, for every (s,p,o) ∈ g,
+/// Int(p) ∈ Prop and (IntA(s), IntA(o)) ∈ PExt(Int(p)). Every URI of g
+/// must have an Int assignment. This is an independent (non-PatternMatcher)
+/// backtracking search used to cross-check the rdf module.
+bool SatisfiesSimple(const Interpretation& i, const Graph& g);
+
+/// Full model relation I ⊨ G: the simple-interpretation condition plus
+/// all RDFS conditions on I itself.
+bool Models(const Interpretation& i, const Graph& g);
+
+}  // namespace swdb
+
+#endif  // SWDB_MODEL_INTERPRETATION_H_

@@ -1,0 +1,107 @@
+#include "normal/core.h"
+
+#include <cassert>
+#include <functional>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace swdb {
+
+namespace {
+
+// Groups the non-ground triples of g by blank-connected component: two
+// blanks are connected when they share a triple. A proper endomorphism
+// restricted to one component (identity elsewhere) is still a proper
+// endomorphism, so leanness can be decided one component at a time with
+// component-sized patterns instead of whole-graph patterns.
+std::vector<std::vector<Triple>> BlankComponents(const Graph& g) {
+  std::unordered_map<Term, Term> parent;
+  std::function<Term(Term)> find = [&](Term x) -> Term {
+    auto it = parent.find(x);
+    if (it == parent.end() || it->second == x) return x;
+    Term root = find(it->second);
+    parent[x] = root;
+    return root;
+  };
+  auto unite = [&](Term a, Term b) {
+    Term ra = find(a);
+    Term rb = find(b);
+    if (ra != rb) parent[ra] = rb;
+  };
+  for (const Triple& t : g) {
+    if (t.s.IsBlank() && t.o.IsBlank()) unite(t.s, t.o);
+  }
+  std::unordered_map<Term, size_t> component_index;
+  std::vector<std::vector<Triple>> components;
+  for (const Triple& t : g) {
+    if (t.IsGround()) continue;
+    Term representative = find(t.s.IsBlank() ? t.s : t.o);
+    auto [it, inserted] =
+        component_index.try_emplace(representative, components.size());
+    if (inserted) components.emplace_back();
+    components[it->second].push_back(t);
+  }
+  return components;
+}
+
+}  // namespace
+
+Result<std::optional<TermMap>> FindProperEndomorphism(const Graph& g,
+                                                      MatchOptions options) {
+  // μ(g) ⊊ g iff μ(g) ⊆ g \ {t} for some triple t; ground triples map to
+  // themselves so t must be non-ground, and the search can be confined
+  // to t's blank-connected component.
+  bool budget_hit = false;
+  for (const std::vector<Triple>& component : BlankComponents(g)) {
+    for (const Triple& t : component) {
+      MatchOptions probe = options;
+      probe.exclude_triple = t;
+      PatternMatcher matcher(component, &g, probe);
+      Result<std::optional<TermMap>> r = matcher.FindAny();
+      if (!r.ok()) {
+        budget_hit = true;
+        continue;
+      }
+      if (r->has_value()) return *r;
+    }
+  }
+  if (budget_hit) {
+    return Status::LimitExceeded("proper-endomorphism search budget hit");
+  }
+  return std::optional<TermMap>(std::nullopt);
+}
+
+bool IsLean(const Graph& g) {
+  Result<std::optional<TermMap>> r = FindProperEndomorphism(g);
+  SWDB_CHECK(r.ok(),
+             "leanness step budget exhausted; use FindProperEndomorphism "
+             "with explicit MatchOptions for graceful degradation");
+  return !r->has_value();
+}
+
+Result<Graph> CoreChecked(const Graph& g, MatchOptions options,
+                          TermMap* witness) {
+  Graph current = g;
+  TermMap composed;
+  for (;;) {
+    Result<std::optional<TermMap>> r =
+        FindProperEndomorphism(current, options);
+    if (!r.ok()) return r.status();
+    if (!r->has_value()) break;
+    composed = composed.ComposeWith(**r);
+    current = (*r)->Apply(current);
+  }
+  if (witness != nullptr) *witness = composed;
+  return current;
+}
+
+Graph Core(const Graph& g, TermMap* witness) {
+  Result<Graph> r = CoreChecked(g, MatchOptions(), witness);
+  SWDB_CHECK(r.ok(),
+             "core step budget exhausted; use CoreChecked for graceful "
+             "degradation");
+  return *std::move(r);
+}
+
+}  // namespace swdb

@@ -1,0 +1,39 @@
+#ifndef SWDB_NORMAL_CORE_H_
+#define SWDB_NORMAL_CORE_H_
+
+#include <optional>
+
+#include "rdf/graph.h"
+#include "rdf/hom.h"
+#include "rdf/map.h"
+#include "util/status.h"
+
+namespace swdb {
+
+/// Searches for a map μ with μ(g) a *proper* subgraph of g (the witness
+/// that g is not lean, Def. 3.7). Since ground triples are fixed by every
+/// map, μ(g) ⊊ g forces some non-ground triple out of the image, so the
+/// search tries, for each non-ground triple t, to map g into g \ {t}.
+/// Returns std::nullopt if g is lean. Deciding this is coNP-complete
+/// (paper Thm 3.12(1)); `options.max_steps` bounds the search.
+Result<std::optional<TermMap>> FindProperEndomorphism(
+    const Graph& g, MatchOptions options = MatchOptions());
+
+/// True iff g is lean: no map μ sends g to a proper subgraph of itself
+/// (paper Def. 3.7). Asserts the step budget is not exhausted.
+bool IsLean(const Graph& g);
+
+/// Computes core(g): the unique (up to isomorphism) lean subgraph of g
+/// that is an instance of g (paper Thm 3.10). Every graph is equivalent
+/// to its core. If `witness` is non-null it receives the composed map μ
+/// with μ(g) = core(g).
+Graph Core(const Graph& g, TermMap* witness = nullptr);
+
+/// Budget-aware variant of Core for adversarial inputs (computing cores
+/// is DP-hard to even verify, paper Thm 3.12(2)).
+Result<Graph> CoreChecked(const Graph& g, MatchOptions options,
+                          TermMap* witness = nullptr);
+
+}  // namespace swdb
+
+#endif  // SWDB_NORMAL_CORE_H_

@@ -1,0 +1,116 @@
+#include "normal/minimal.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "inference/closure.h"
+#include "rdf/hom.h"
+#include "util/rng.h"
+
+namespace swdb {
+
+using vocab::kSc;
+using vocab::kSp;
+
+bool HasReservedVocabInSubjectOrObject(const Graph& g) {
+  for (const Triple& t : g) {
+    if (vocab::IsRdfsVocab(t.s) || vocab::IsRdfsVocab(t.o)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// DFS cycle detection over the explicit edges of the given predicate,
+// ignoring self-loops.
+bool PredicateDigraphHasCycle(const Graph& g, Term predicate) {
+  std::unordered_map<Term, std::vector<Term>> adjacency;
+  for (const Triple& t : g) {
+    if (t.p == predicate && t.s != t.o) adjacency[t.s].push_back(t.o);
+  }
+  enum class Color { kWhite, kGray, kBlack };
+  std::unordered_map<Term, Color> color;
+  // Iterative DFS with explicit stack of (node, next-child-index).
+  for (const auto& [start, unused] : adjacency) {
+    (void)unused;
+    if (color.count(start)) continue;
+    std::vector<std::pair<Term, size_t>> stack{{start, 0}};
+    color[start] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [node, child] = stack.back();
+      auto it = adjacency.find(node);
+      size_t degree = it == adjacency.end() ? 0 : it->second.size();
+      if (child == degree) {
+        color[node] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      Term next = it->second[child++];
+      auto c = color.find(next);
+      if (c == color.end()) {
+        color[next] = Color::kGray;
+        stack.push_back({next, 0});
+      } else if (c->second == Color::kGray) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// G' ⊆ G is equivalent to G iff G' ⊨ G (the other direction holds for
+// every subgraph).
+bool SubgraphStillEquivalent(const Graph& subgraph, const Graph& g) {
+  return RdfsEntails(subgraph, g);
+}
+
+}  // namespace
+
+bool IsAcyclicScSp(const Graph& g) {
+  return !PredicateDigraphHasCycle(g, kSc) &&
+         !PredicateDigraphHasCycle(g, kSp);
+}
+
+Graph MinimalRepresentation(const Graph& g, uint64_t order_seed) {
+  std::vector<Triple> order(g.begin(), g.end());
+  Rng rng(order_seed);
+  rng.Shuffle(&order);
+
+  Graph current = g;
+  for (const Triple& t : order) {
+    Graph without = current;
+    without.Erase(t);
+    if (SubgraphStillEquivalent(without, g)) {
+      current = std::move(without);
+    }
+  }
+  return current;
+}
+
+std::vector<Graph> AllMinimumRepresentations(const Graph& g) {
+  assert(g.size() <= 24 && "exhaustive enumeration limited to 24 triples");
+  const std::vector<Triple>& triples = g.triples();
+  const size_t n = triples.size();
+  size_t best = n + 1;
+  std::vector<Graph> result;
+  for (uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    size_t bits = static_cast<size_t>(__builtin_popcountll(mask));
+    if (bits > best) continue;
+    std::vector<Triple> subset;
+    subset.reserve(bits);
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1ULL << i)) subset.push_back(triples[i]);
+    }
+    Graph candidate(std::move(subset));
+    if (!SubgraphStillEquivalent(candidate, g)) continue;
+    if (bits < best) {
+      best = bits;
+      result.clear();
+    }
+    result.push_back(std::move(candidate));
+  }
+  return result;
+}
+
+}  // namespace swdb

@@ -1,0 +1,36 @@
+#ifndef SWDB_NORMAL_MINIMAL_H_
+#define SWDB_NORMAL_MINIMAL_H_
+
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace swdb {
+
+/// True if no reserved RDFS keyword occurs in subject or object position
+/// — the first hypothesis of paper Thm 3.16.
+bool HasReservedVocabInSubjectOrObject(const Graph& g);
+
+/// True if the explicit sc digraph and the explicit sp digraph of g are
+/// both acyclic — "acyclic w.r.t. subproperty and subclass", the second
+/// hypothesis of paper Thm 3.16 (self-loops count as cycles here only if
+/// non-trivial; a reflexive triple (a,sc,a) is handled separately by the
+/// theorem's proof and does not violate acyclicity).
+bool IsAcyclicScSp(const Graph& g);
+
+/// An inclusion-minimal representation: an equivalent subgraph of g from
+/// which no single triple can be removed without losing equivalence
+/// (Def. 3.13 relaxed to inclusion-minimality). Under the Thm 3.16
+/// hypotheses this is the unique minimum representation; in general,
+/// different removal orders can give non-isomorphic results (Ex. 3.14,
+/// Ex. 3.15) — `order_seed` selects the order so tests can exhibit that.
+Graph MinimalRepresentation(const Graph& g, uint64_t order_seed = 0);
+
+/// All minimum-size (w.r.t. number of triples) equivalent subgraphs of g,
+/// by exhaustive subset enumeration. Exponential; requires |g| ≤ 24.
+/// Used to verify Examples 3.14/3.15 and Thm 3.16.
+std::vector<Graph> AllMinimumRepresentations(const Graph& g);
+
+}  // namespace swdb
+
+#endif  // SWDB_NORMAL_MINIMAL_H_

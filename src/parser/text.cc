@@ -1,0 +1,231 @@
+#include "parser/text.h"
+
+#include <sstream>
+#include <vector>
+#include "util/str.h"
+
+namespace swdb {
+
+namespace {
+
+constexpr struct {
+  const char* keyword;
+  Term term;
+} kVocabKeywords[] = {
+    {"sp", vocab::kSp},       {"sc", vocab::kSc},   {"type", vocab::kType},
+    {"dom", vocab::kDom},     {"range", vocab::kRange},
+};
+
+// Strips '#' comments and surrounding whitespace.
+std::string_view StripLine(std::string_view line) {
+  size_t hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  size_t begin = line.find_first_not_of(" \t\r");
+  if (begin == std::string_view::npos) return {};
+  size_t end = line.find_last_not_of(" \t\r");
+  return line.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string_view> SplitTokens(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+Result<Triple> ParseTripleTokens(const std::vector<std::string_view>& tokens,
+                                 Dictionary* dict, bool allow_vars,
+                                 size_t line_number) {
+  std::vector<std::string_view> parts(tokens);
+  if (!parts.empty() && parts.back() == ".") parts.pop_back();
+  if (parts.size() != 3) {
+    return Status::ParseError(NumberedName("line ", line_number) +
+                              ": expected 's p o [.]'");
+  }
+  Term terms[3];
+  for (int i = 0; i < 3; ++i) {
+    Result<Term> term = ParseTerm(parts[i], dict, allow_vars);
+    if (!term.ok()) {
+      return Status::ParseError(NumberedName("line ", line_number) + ": " +
+                                term.status().message());
+    }
+    terms[i] = *term;
+  }
+  Triple t(terms[0], terms[1], terms[2]);
+  if (!t.IsWellFormedPattern()) {
+    return Status::ParseError(NumberedName("line ", line_number) +
+                              ": blank node in predicate position");
+  }
+  if (!allow_vars && !t.IsWellFormedData()) {
+    return Status::ParseError(NumberedName("line ", line_number) +
+                              ": variables not allowed here");
+  }
+  return t;
+}
+
+}  // namespace
+
+Result<Term> ParseTerm(std::string_view token, Dictionary* dict,
+                       bool allow_vars) {
+  if (token.empty()) return Status::ParseError("empty term token");
+  if (token[0] == '?') {
+    if (!allow_vars) {
+      return Status::ParseError("variable not allowed: " +
+                                std::string(token));
+    }
+    if (token.size() == 1) return Status::ParseError("bare '?'");
+    return dict->Var(token.substr(1));
+  }
+  if (token.size() >= 2 && token[0] == '_' && token[1] == ':') {
+    if (token.size() == 2) return Status::ParseError("bare '_:'");
+    return dict->Blank(token.substr(2));
+  }
+  for (const auto& kw : kVocabKeywords) {
+    if (token == kw.keyword) return kw.term;
+  }
+  if (token.front() == '<' && token.back() == '>') {
+    if (token.size() <= 2) return Status::ParseError("empty IRI '<>'");
+    return dict->Iri(token.substr(1, token.size() - 2));
+  }
+  return dict->Iri(token);
+}
+
+Result<Graph> ParseGraph(std::string_view text, Dictionary* dict,
+                         bool allow_vars) {
+  Graph g;
+  size_t line_number = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? text.size() - pos
+                                                      : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_number;
+    line = StripLine(line);
+    if (line.empty()) continue;
+    Result<Triple> t =
+        ParseTripleTokens(SplitTokens(line), dict, allow_vars, line_number);
+    if (!t.ok()) return t.status();
+    g.Insert(*t);
+  }
+  return g;
+}
+
+std::string FormatTerm(Term t, const Dictionary& dict) {
+  for (const auto& kw : kVocabKeywords) {
+    if (t == kw.term) return kw.keyword;
+  }
+  return dict.Name(t);
+}
+
+std::string FormatTriple(const Triple& t, const Dictionary& dict) {
+  std::string out = FormatTerm(t.s, dict);
+  out += " ";
+  out += FormatTerm(t.p, dict);
+  out += " ";
+  out += FormatTerm(t.o, dict);
+  out += " .";
+  return out;
+}
+
+std::string FormatGraph(const Graph& g, const Dictionary& dict) {
+  std::string out;
+  for (const Triple& t : g) {
+    out += FormatTriple(t, dict);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Query> ParseQuery(std::string_view text, Dictionary* dict) {
+  Query q;
+  size_t line_number = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? text.size() - pos
+                                                      : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_number;
+    line = StripLine(line);
+    if (line.empty()) continue;
+
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::ParseError(NumberedName("line ", line_number) +
+                                ": expected 'section: ...'");
+    }
+    std::string_view section = line.substr(0, colon);
+    std::string_view rest = StripLine(line.substr(colon + 1));
+    std::vector<std::string_view> tokens = SplitTokens(rest);
+
+    if (section == "head" || section == "body") {
+      Result<Triple> t =
+          ParseTripleTokens(tokens, dict, /*allow_vars=*/true, line_number);
+      if (!t.ok()) return t.status();
+      (section == "head" ? q.head : q.body).Insert(*t);
+    } else if (section == "premise") {
+      Result<Triple> t =
+          ParseTripleTokens(tokens, dict, /*allow_vars=*/false, line_number);
+      if (!t.ok()) return t.status();
+      q.premise.Insert(*t);
+    } else if (section == "bind") {
+      for (std::string_view token : tokens) {
+        Result<Term> v = ParseTerm(token, dict, /*allow_vars=*/true);
+        if (!v.ok()) return v.status();
+        if (!v->IsVar()) {
+          return Status::ParseError(NumberedName("line ", line_number) +
+                                    ": bind expects variables");
+        }
+        q.constraints.push_back(*v);
+      }
+    } else {
+      return Status::ParseError(NumberedName("line ", line_number) +
+                                ": unknown section '" + std::string(section) +
+                                "'");
+    }
+  }
+  std::sort(q.constraints.begin(), q.constraints.end());
+  q.constraints.erase(std::unique(q.constraints.begin(), q.constraints.end()),
+                      q.constraints.end());
+  Status valid = q.Validate();
+  if (!valid.ok()) return valid;
+  return q;
+}
+
+std::string FormatQuery(const Query& q, const Dictionary& dict) {
+  std::string out;
+  for (const Triple& t : q.head) {
+    out += "head:    ";
+    out += FormatTriple(t, dict);
+    out += "\n";
+  }
+  for (const Triple& t : q.body) {
+    out += "body:    ";
+    out += FormatTriple(t, dict);
+    out += "\n";
+  }
+  for (const Triple& t : q.premise) {
+    out += "premise: ";
+    out += FormatTriple(t, dict);
+    out += "\n";
+  }
+  if (!q.constraints.empty()) {
+    out += "bind:   ";
+    for (Term c : q.constraints) {
+      out += " ";
+      out += FormatTerm(c, dict);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace swdb

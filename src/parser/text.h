@@ -1,0 +1,54 @@
+#ifndef SWDB_PARSER_TEXT_H_
+#define SWDB_PARSER_TEXT_H_
+
+#include <string>
+#include <string_view>
+
+#include "query/query.h"
+#include "rdf/graph.h"
+#include "rdf/term.h"
+#include "util/status.h"
+
+namespace swdb {
+
+/// Parses a single term token:
+///  - "?Name"            → variable (if allow_vars),
+///  - "_:label"          → blank node,
+///  - "sp" | "sc" | "type" | "dom" | "range" → the reserved vocabulary,
+///  - anything else      → IRI (optionally wrapped in <angle brackets>).
+Result<Term> ParseTerm(std::string_view token, Dictionary* dict,
+                       bool allow_vars = false);
+
+/// Parses a line-oriented N-Triples-style graph: one "s p o ." triple per
+/// line (the trailing '.' is optional), '#' starts a comment, blank lines
+/// ignored. Variables are rejected unless allow_vars.
+Result<Graph> ParseGraph(std::string_view text, Dictionary* dict,
+                         bool allow_vars = false);
+
+/// Textual form of a term; reserved vocabulary prints as its keyword.
+std::string FormatTerm(Term t, const Dictionary& dict);
+
+/// "s p o ." for one triple.
+std::string FormatTriple(const Triple& t, const Dictionary& dict);
+
+/// One triple per line, sorted.
+std::string FormatGraph(const Graph& g, const Dictionary& dict);
+
+/// Parses a query from a line-oriented format:
+///
+///   head:    ?A creates ?Y .
+///   body:    ?A type Flemish .
+///   body:    ?A paints ?Y .
+///   premise: son sp relative .
+///   bind:    ?A
+///
+/// Sections may repeat and appear in any order; '#' comments allowed.
+/// The parsed query is validated (Def. 4.1) before being returned.
+Result<Query> ParseQuery(std::string_view text, Dictionary* dict);
+
+/// Renders a query back into the ParseQuery format.
+std::string FormatQuery(const Query& q, const Dictionary& dict);
+
+}  // namespace swdb
+
+#endif  // SWDB_PARSER_TEXT_H_

@@ -1,0 +1,134 @@
+#include "query/answer.h"
+
+#include <algorithm>
+
+#include "inference/closure.h"
+#include "normal/normal_form.h"
+
+namespace swdb {
+
+QueryEvaluator::QueryEvaluator(Dictionary* dict, EvalOptions options)
+    : dict_(dict), options_(options) {}
+
+Graph QueryEvaluator::NormalizedDatabase(const Query& q, const Graph& db) {
+  Graph combined = Merge(db, q.premise, dict_);
+  return options_.use_closure_only ? RdfsClosure(combined)
+                                   : NormalForm(combined);
+}
+
+Term QueryEvaluator::SkolemBlank(Term head_blank,
+                                 const std::vector<Term>& args) {
+  auto key = std::make_pair(head_blank, args);
+  auto it = skolem_cache_.find(key);
+  if (it != skolem_cache_.end()) return it->second;
+  Term fresh = dict_->FreshBlank();
+  skolem_cache_.emplace(std::move(key), fresh);
+  return fresh;
+}
+
+Result<std::vector<Graph>> QueryEvaluator::PreAnswer(const Query& q,
+                                                     const Graph& db) {
+  return PreAnswerPrenormalized(q, NormalizedDatabase(q, db));
+}
+
+Result<std::vector<Graph>> QueryEvaluator::PreAnswerPrenormalized(
+    const Query& q, const Graph& target) {
+  Status valid = q.Validate();
+  if (!valid.ok()) return valid;
+
+  std::vector<Term> body_vars = q.body.Variables();
+
+  std::vector<Graph> answers;
+  PatternMatcher matcher(q.body.triples(), &target, options_.match);
+  Status status = matcher.Enumerate([&](const TermMap& v) {
+    // Constraints: every constrained variable bound to a non-blank.
+    for (Term c : q.constraints) {
+      if (v.Apply(c).IsBlank()) return true;
+    }
+    // Skolem arguments: the valuation of all body variables, in sorted
+    // variable order (the tuple (v(?X1), ..., v(?Xk)) of Def. 4.3).
+    std::vector<Term> args;
+    args.reserve(body_vars.size());
+    for (Term var : body_vars) args.push_back(v.Apply(var));
+
+    // Build v(H): substitute variables, Skolemize head blanks.
+    std::vector<Triple> triples;
+    triples.reserve(q.head.size());
+    bool well_formed = true;
+    for (const Triple& t : q.head) {
+      auto value = [&](Term x) {
+        if (x.IsVar()) return v.Apply(x);
+        if (x.IsBlank()) return SkolemBlank(x, args);
+        return x;
+      };
+      Triple image(value(t.s), value(t.p), value(t.o));
+      if (!image.IsWellFormedData()) {
+        well_formed = false;
+        break;
+      }
+      triples.push_back(image);
+    }
+    if (well_formed) answers.emplace_back(std::move(triples));
+    return true;
+  });
+  if (!status.ok()) return status;
+
+  std::sort(answers.begin(), answers.end(),
+            [](const Graph& a, const Graph& b) {
+              return a.triples() < b.triples();
+            });
+  answers.erase(std::unique(answers.begin(), answers.end()), answers.end());
+  return answers;
+}
+
+Result<std::vector<TermMap>> QueryEvaluator::Matchings(const Query& q,
+                                                       const Graph& db) {
+  Status valid = q.Validate();
+  if (!valid.ok()) return valid;
+  Graph target = NormalizedDatabase(q, db);
+  std::vector<Term> body_vars = q.body.Variables();
+
+  std::vector<TermMap> matchings;
+  PatternMatcher matcher(q.body.triples(), &target, options_.match);
+  Status status = matcher.Enumerate([&](const TermMap& v) {
+    for (Term c : q.constraints) {
+      if (v.Apply(c).IsBlank()) return true;
+    }
+    matchings.push_back(v);
+    return true;
+  });
+  if (!status.ok()) return status;
+
+  std::sort(matchings.begin(), matchings.end(),
+            [&body_vars](const TermMap& a, const TermMap& b) {
+              for (Term var : body_vars) {
+                if (a.Apply(var) != b.Apply(var)) {
+                  return a.Apply(var) < b.Apply(var);
+                }
+              }
+              return false;
+            });
+  return matchings;
+}
+
+Result<Graph> QueryEvaluator::AnswerUnion(const Query& q, const Graph& db) {
+  Result<std::vector<Graph>> pre = PreAnswer(q, db);
+  if (!pre.ok()) return pre.status();
+  Graph out;
+  for (const Graph& answer : *pre) {
+    out.InsertAll(answer);
+  }
+  return out;
+}
+
+Result<Graph> QueryEvaluator::AnswerMerge(const Query& q, const Graph& db) {
+  Result<std::vector<Graph>> pre = PreAnswer(q, db);
+  if (!pre.ok()) return pre.status();
+  Graph out;
+  for (const Graph& answer : *pre) {
+    out.InsertAll(FreshBlankCopy(answer, dict_));
+  }
+  return out;
+}
+
+}  // namespace swdb

@@ -1,0 +1,78 @@
+#ifndef SWDB_QUERY_ANSWER_H_
+#define SWDB_QUERY_ANSWER_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "query/query.h"
+#include "rdf/hom.h"
+#include "util/status.h"
+
+namespace swdb {
+
+/// Options for query evaluation.
+struct EvalOptions {
+  /// Budget for the matching search.
+  MatchOptions match;
+  /// Evaluate against RDFS-cl(D+P) instead of nf(D+P). The paper's
+  /// Note 4.4 argues nf is required for answers to be invariant under
+  /// database equivalence; this switch exists so benches and tests can
+  /// exhibit the difference (closure is cheaper but syntax dependent).
+  bool use_closure_only = false;
+};
+
+/// Evaluates queries over databases with the semantics of §4.1:
+/// matchings are valuations v with v(B) ⊆ nf(D + P) satisfying the
+/// constraints; a single answer is v(H) with head blank nodes
+/// instantiated by Skolem functions of the body valuation.
+///
+/// One evaluator instance uses the *same* Skolem functions across every
+/// database it is asked about, as required by Prop. 4.5.
+class QueryEvaluator {
+ public:
+  explicit QueryEvaluator(Dictionary* dict, EvalOptions options = {});
+
+  /// nf(D + P) (or RDFS-cl(D + P) under use_closure_only), the graph
+  /// matchings are sought in.
+  Graph NormalizedDatabase(const Query& q, const Graph& db);
+
+  /// preans(q, D): the set of single answers v(H), deduplicated, in
+  /// deterministic (sorted) order.
+  Result<std::vector<Graph>> PreAnswer(const Query& q, const Graph& db);
+
+  /// PreAnswer against an already-normalized database: the caller
+  /// guarantees `normalized` equals nf(D + P) (or the closure under
+  /// use_closure_only). Used by Database to amortize normalization over
+  /// many premise-free queries.
+  Result<std::vector<Graph>> PreAnswerPrenormalized(const Query& q,
+                                                    const Graph& normalized);
+
+  /// The raw matchings: every constraint-satisfying valuation of the
+  /// body variables (Def. 4.3's v), as variable→term maps in
+  /// deterministic order. This is the SquishQL-style "table of
+  /// bindings" view of an answer (§1's related work); v(H) construction
+  /// and Skolemization are skipped.
+  Result<std::vector<TermMap>> Matchings(const Query& q, const Graph& db);
+
+  /// ans∪(q, D): the union of all single answers (the paper's preferred
+  /// semantics; blank nodes shared between single answers are preserved).
+  Result<Graph> AnswerUnion(const Query& q, const Graph& db);
+
+  /// ans+(q, D): the merge of all single answers — blank nodes renamed
+  /// apart so no two single answers share any.
+  Result<Graph> AnswerMerge(const Query& q, const Graph& db);
+
+ private:
+  Term SkolemBlank(Term head_blank, const std::vector<Term>& args);
+
+  Dictionary* dict_;
+  EvalOptions options_;
+  // f_N(args) cache: the same (blank, argument-tuple) always yields the
+  // same fresh blank, across databases.
+  std::map<std::pair<Term, std::vector<Term>>, Term> skolem_cache_;
+};
+
+}  // namespace swdb
+
+#endif  // SWDB_QUERY_ANSWER_H_

@@ -1,0 +1,152 @@
+#include "query/containment.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "inference/closure.h"
+#include "normal/normal_form.h"
+#include "query/premise.h"
+#include "rdf/iso.h"
+
+namespace swdb {
+
+namespace {
+
+// Shared context for one containment test between a frozen q and q'.
+struct FrozenLeft {
+  Graph frozen_body;            // vf(B)
+  Graph frozen_head;            // vf(H)
+  TermMap freeze;               // var → fresh URI
+  std::unordered_set<Term> frozen_constraints;  // {vf(c) : c ∈ C}
+};
+
+FrozenLeft FreezeLeft(const Query& q, Dictionary* dict) {
+  FrozenLeft out;
+  out.frozen_body = FreezeVariablesWith(q.body, dict, &out.freeze);
+  out.frozen_head = FreezeVariablesWith(q.head, dict, &out.freeze);
+  for (Term c : q.constraints) {
+    out.frozen_constraints.insert(out.freeze.Apply(c));
+  }
+  return out;
+}
+
+// Condition (c) of Thm 5.7: θ maps every constrained variable of q' to
+// (the frozen image of) a constrained variable of q.
+bool ConstraintsCarried(const TermMap& theta, const Query& q_prime,
+                        const FrozenLeft& left) {
+  for (Term c : q_prime.constraints) {
+    if (!left.frozen_constraints.count(theta.Apply(c))) return false;
+  }
+  return true;
+}
+
+// Core of Thm 5.5/5.7/5.8: enumerate substitutions θ with
+// θ(B') ⊆ target and θ(C') ⊆ C. For standard containment, succeed on the
+// first θ with θ(H') ≅ H; for entailment containment, accumulate
+// ⋃ θ(H') and test entailment of H at the end.
+Result<bool> TestAgainstTarget(const Query& q_prime, const Graph& target,
+                               const FrozenLeft& left, bool entailment_based,
+                               MatchOptions options,
+                               bool uninterpreted_vocab = false) {
+  bool contained = false;
+  Graph head_union;
+  PatternMatcher matcher(q_prime.body.triples(), &target, options);
+  Status status = matcher.Enumerate([&](const TermMap& theta) {
+    if (!ConstraintsCarried(theta, q_prime, left)) return true;
+    Graph mapped_head = theta.Apply(q_prime.head);
+    if (entailment_based) {
+      head_union.InsertAll(mapped_head);
+      return true;
+    }
+    if (AreIsomorphic(mapped_head, left.frozen_head)) {
+      contained = true;
+      return false;  // found the witnessing θ
+    }
+    return true;
+  });
+  if (!status.ok() && !contained) return status;
+  if (entailment_based) {
+    // §5.4 treats simple queries over uninterpreted vocabulary, where
+    // entailment is plain map existence; otherwise RDFS entailment.
+    return uninterpreted_vocab ? SimpleEntails(head_union, left.frozen_head)
+                               : RdfsEntails(head_union, left.frozen_head);
+  }
+  return contained;
+}
+
+Status RequireNoPremises(const Query& q, const Query& q_prime) {
+  if (!q.premise.empty() || !q_prime.premise.empty()) {
+    return Status::InvalidArgument(
+        "this containment test requires premise-free queries; use the "
+        "*Simple variants for premises");
+  }
+  return Status::OK();
+}
+
+Result<bool> ContainedImpl(const Query& q, const Query& q_prime,
+                           Dictionary* dict, bool entailment_based,
+                           MatchOptions options) {
+  Status valid = q.Validate();
+  if (!valid.ok()) return valid;
+  valid = q_prime.Validate();
+  if (!valid.ok()) return valid;
+  valid = RequireNoPremises(q, q_prime);
+  if (!valid.ok()) return valid;
+
+  FrozenLeft left = FreezeLeft(q, dict);
+  Graph target = NormalForm(left.frozen_body);
+  return TestAgainstTarget(q_prime, target, left, entailment_based, options);
+}
+
+Result<bool> ContainedSimpleImpl(const Query& q, const Query& q_prime,
+                                 Dictionary* dict, bool entailment_based,
+                                 MatchOptions options) {
+  Status valid = q.Validate();
+  if (!valid.ok()) return valid;
+  valid = q_prime.Validate();
+  if (!valid.ok()) return valid;
+
+  // Prop. 5.9: expand q into premise-free Ωq; Prop. 5.11: the union is
+  // contained in q' iff every member is.
+  Result<std::vector<Query>> omega = EliminatePremise(q, options);
+  if (!omega.ok()) return omega.status();
+
+  for (const Query& q_mu : *omega) {
+    FrozenLeft left = FreezeLeft(q_mu, dict);
+    // Thm 5.8: the target is P' + B (simple vocabulary, no closure).
+    Graph target = Merge(left.frozen_body, q_prime.premise, dict);
+    Result<bool> one =
+        TestAgainstTarget(q_prime, target, left, entailment_based, options,
+                          /*uninterpreted_vocab=*/true);
+    if (!one.ok()) return one.status();
+    if (!*one) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<bool> ContainedStandard(const Query& q, const Query& q_prime,
+                               Dictionary* dict, MatchOptions options) {
+  return ContainedImpl(q, q_prime, dict, /*entailment_based=*/false, options);
+}
+
+Result<bool> ContainedEntailment(const Query& q, const Query& q_prime,
+                                 Dictionary* dict, MatchOptions options) {
+  return ContainedImpl(q, q_prime, dict, /*entailment_based=*/true, options);
+}
+
+Result<bool> ContainedStandardSimple(const Query& q, const Query& q_prime,
+                                     Dictionary* dict, MatchOptions options) {
+  return ContainedSimpleImpl(q, q_prime, dict, /*entailment_based=*/false,
+                             options);
+}
+
+Result<bool> ContainedEntailmentSimple(const Query& q, const Query& q_prime,
+                                       Dictionary* dict,
+                                       MatchOptions options) {
+  return ContainedSimpleImpl(q, q_prime, dict, /*entailment_based=*/true,
+                             options);
+}
+
+}  // namespace swdb

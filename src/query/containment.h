@@ -1,0 +1,45 @@
+#ifndef SWDB_QUERY_CONTAINMENT_H_
+#define SWDB_QUERY_CONTAINMENT_H_
+
+#include "query/query.h"
+#include "rdf/hom.h"
+#include "util/status.h"
+
+namespace swdb {
+
+/// Standard containment q ⊑p q' (paper Def. 5.1(1)): on every database,
+/// each pre-answer of q has an isomorphic pre-answer of q'. Decided via
+/// the characterization of Thm 5.5(1)/5.7(1): a substitution θ with
+/// θ(B') ⊆ nf(B), θ(H') ≅ H and θ(C') ⊆ C (variables of q treated as
+/// fresh constants). Both queries must be premise-free; constraints are
+/// supported. NP-complete (Thm 5.6).
+Result<bool> ContainedStandard(const Query& q, const Query& q_prime,
+                               Dictionary* dict, MatchOptions options = {});
+
+/// Entailment-based containment q ⊑m q' (Def. 5.1(2)): on every database,
+/// ans(q', D) ⊨ ans(q, D). Decided via Thm 5.5(2)/5.7(2): substitutions
+/// θ_1..θ_n with θ_j(B') ⊆ nf(B), θ_j(C') ⊆ C, and ⋃_j θ_j(H') ⊨ H.
+/// Standard containment implies entailment containment (Prop. 5.2) but
+/// not conversely (Ex. 5.3). Both queries must be premise-free.
+Result<bool> ContainedEntailment(const Query& q, const Query& q_prime,
+                                 Dictionary* dict, MatchOptions options = {});
+
+/// Standard containment for *simple* queries (rdfs vocabulary treated as
+/// uninterpreted; §5.4) with premises allowed on both sides: q is first
+/// expanded to the premise-free family Ωq (Prop. 5.9), and each member is
+/// tested against q' via Thm 5.8(1) (θ(B') ⊆ P' + B, θ(H') ≅ H); the
+/// union rule Prop. 5.11 conjoins the results. NP-hard, in Π2P
+/// (Thm 5.12).
+Result<bool> ContainedStandardSimple(const Query& q, const Query& q_prime,
+                                     Dictionary* dict,
+                                     MatchOptions options = {});
+
+/// Entailment-based containment for simple queries with premises,
+/// via Prop. 5.9 + Thm 5.8(2) + Prop. 5.11.
+Result<bool> ContainedEntailmentSimple(const Query& q, const Query& q_prime,
+                                       Dictionary* dict,
+                                       MatchOptions options = {});
+
+}  // namespace swdb
+
+#endif  // SWDB_QUERY_CONTAINMENT_H_

@@ -1,0 +1,78 @@
+#include "query/database.h"
+
+#include "inference/closure.h"
+#include "normal/normal_form.h"
+#include "parser/text.h"
+#include "rdf/map.h"
+
+namespace swdb {
+
+Database::Database(Dictionary* dict, EvalOptions options)
+    : dict_(dict), evaluator_(dict, options), options_(options) {}
+
+bool Database::Insert(const Triple& t) {
+  bool added = data_.Insert(t);
+  if (added) Invalidate();
+  return added;
+}
+
+void Database::InsertGraph(const Graph& g) {
+  data_.InsertAll(g);
+  Invalidate();
+}
+
+Status Database::InsertText(std::string_view text) {
+  Result<Graph> g = ParseGraph(text, dict_);
+  if (!g.ok()) return g.status();
+  InsertGraph(*g);
+  return Status::OK();
+}
+
+bool Database::Erase(const Triple& t) {
+  bool removed = data_.Erase(t);
+  if (removed) Invalidate();
+  return removed;
+}
+
+const Graph& Database::Normalized() {
+  if (!normalized_.has_value()) {
+    normalized_ = options_.use_closure_only ? RdfsClosure(data_)
+                                            : NormalForm(data_);
+  }
+  return *normalized_;
+}
+
+bool Database::Entails(const Graph& q) { return RdfsEntails(data_, q); }
+
+Result<std::vector<Graph>> Database::PreAnswer(const Query& q) {
+  if (q.premise.empty()) {
+    return evaluator_.PreAnswerPrenormalized(q, Normalized());
+  }
+  return evaluator_.PreAnswer(q, data_);
+}
+
+Result<Graph> Database::AnswerUnion(const Query& q) {
+  Result<std::vector<Graph>> pre = PreAnswer(q);
+  if (!pre.ok()) return pre.status();
+  Graph out;
+  for (const Graph& answer : *pre) out.InsertAll(answer);
+  return out;
+}
+
+Result<Graph> Database::AnswerMerge(const Query& q) {
+  Result<std::vector<Graph>> pre = PreAnswer(q);
+  if (!pre.ok()) return pre.status();
+  Graph out;
+  for (const Graph& answer : *pre) {
+    out.InsertAll(FreshBlankCopy(answer, dict_));
+  }
+  return out;
+}
+
+Result<Graph> Database::ExecuteQuery(std::string_view query_text) {
+  Result<Query> q = ParseQuery(query_text, dict_);
+  if (!q.ok()) return q.status();
+  return AnswerUnion(*q);
+}
+
+}  // namespace swdb

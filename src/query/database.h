@@ -1,0 +1,70 @@
+#ifndef SWDB_QUERY_DATABASE_H_
+#define SWDB_QUERY_DATABASE_H_
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "query/answer.h"
+#include "query/query.h"
+#include "rdf/graph.h"
+#include "rdf/term.h"
+#include "util/status.h"
+
+namespace swdb {
+
+/// A mutable RDF database with cached normalization — the convenience
+/// facade a downstream user works against.
+///
+/// The underlying data graph can be mutated freely; the normal form
+/// nf(D) that query matching runs on (§4.1, Note 4.4) is computed
+/// lazily and invalidated on every mutation. Premise-free queries reuse
+/// the cached normal form; queries with premises fall back to per-call
+/// normalization of D + P.
+class Database {
+ public:
+  /// The dictionary must outlive the database.
+  explicit Database(Dictionary* dict, EvalOptions options = {});
+
+  Dictionary* dict() { return dict_; }
+  const Graph& graph() const { return data_; }
+  size_t size() const { return data_.size(); }
+
+  /// Inserts a triple; returns true if new. Invalidates the cache.
+  bool Insert(const Triple& t);
+  /// Inserts all triples of a graph.
+  void InsertGraph(const Graph& g);
+  /// Parses and inserts N-Triples-style text.
+  Status InsertText(std::string_view text);
+  /// Removes a triple; returns true if it was present.
+  bool Erase(const Triple& t);
+
+  /// nf(D) (or its closure under use_closure_only), computed on first
+  /// use and cached until the next mutation.
+  const Graph& Normalized();
+
+  /// RDFS entailment D ⊨ q (Thm 2.8).
+  bool Entails(const Graph& q);
+
+  /// Single answers of a query (§4.1).
+  Result<std::vector<Graph>> PreAnswer(const Query& q);
+  /// ans∪(q, D).
+  Result<Graph> AnswerUnion(const Query& q);
+  /// ans+(q, D).
+  Result<Graph> AnswerMerge(const Query& q);
+  /// Parses the query text and evaluates under union semantics.
+  Result<Graph> ExecuteQuery(std::string_view query_text);
+
+ private:
+  void Invalidate() { normalized_.reset(); }
+
+  Dictionary* dict_;
+  Graph data_;
+  QueryEvaluator evaluator_;
+  EvalOptions options_;
+  std::optional<Graph> normalized_;
+};
+
+}  // namespace swdb
+
+#endif  // SWDB_QUERY_DATABASE_H_

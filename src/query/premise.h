@@ -1,0 +1,30 @@
+#ifndef SWDB_QUERY_PREMISE_H_
+#define SWDB_QUERY_PREMISE_H_
+
+#include <vector>
+
+#include "query/query.h"
+#include "rdf/hom.h"
+#include "util/status.h"
+
+namespace swdb {
+
+/// Computes Ωq (paper Prop. 5.9): the premise-free queries
+/// qμ = (μ(H), μ(B − R), ∅) over all subsets R ⊆ B and maps μ : R → P
+/// such that μ(B − R) has no blank nodes. For simple queries, the union
+/// of the qμ answers equals the answer of q on every database, so this
+/// transformation eliminates the premise.
+///
+/// Constraints are carried over as follows: a qμ whose map binds a
+/// constrained variable to a blank node of P is dropped (it can only
+/// produce constraint-violating answers); a constrained variable bound
+/// to a URI is removed from the constraint set; the rest remain.
+///
+/// The result is deduplicated. Worst case |Ωq| is exponential in |B|
+/// (the source of the Π2P upper bound of Thm 5.12).
+Result<std::vector<Query>> EliminatePremise(const Query& q,
+                                            MatchOptions options = {});
+
+}  // namespace swdb
+
+#endif  // SWDB_QUERY_PREMISE_H_

@@ -1,0 +1,70 @@
+#include "query/query.h"
+
+#include <algorithm>
+
+namespace swdb {
+
+Status Query::Validate() const {
+  for (const Triple& t : body) {
+    if (!t.IsWellFormedPattern()) {
+      return Status::InvalidArgument("body triple with blank predicate");
+    }
+    if (t.s.IsBlank() || t.o.IsBlank()) {
+      return Status::InvalidArgument("body must not contain blank nodes");
+    }
+  }
+  for (const Triple& t : head) {
+    if (!t.IsWellFormedPattern()) {
+      return Status::InvalidArgument("head triple with blank predicate");
+    }
+  }
+  std::vector<Term> body_vars = body.Variables();
+  for (Term v : head.Variables()) {
+    if (!std::binary_search(body_vars.begin(), body_vars.end(), v)) {
+      return Status::InvalidArgument(
+          "head variable does not occur in the body");
+    }
+  }
+  if (!premise.Variables().empty()) {
+    return Status::InvalidArgument("premise must not contain variables");
+  }
+  if (!premise.IsWellFormedData()) {
+    return Status::InvalidArgument("premise must be a well-formed graph");
+  }
+  std::vector<Term> head_vars = head.Variables();
+  for (Term c : constraints) {
+    if (!c.IsVar() ||
+        !std::binary_search(head_vars.begin(), head_vars.end(), c)) {
+      return Status::InvalidArgument(
+          "constraint is not a variable of the head");
+    }
+  }
+  return Status::OK();
+}
+
+Query Query::Identity(Dictionary* dict) {
+  Term x = dict->Var("X");
+  Term y = dict->Var("Y");
+  Term z = dict->Var("Z");
+  Query q;
+  q.head = Graph{Triple(x, y, z)};
+  q.body = q.head;
+  return q;
+}
+
+Graph FreezeVariablesWith(const Graph& g, Dictionary* dict,
+                          TermMap* freeze_in_out) {
+  for (Term v : g.Variables()) {
+    if (!freeze_in_out->IsBound(v)) {
+      freeze_in_out->Bind(v, dict->FreshIri());
+    }
+  }
+  return freeze_in_out->Apply(g);
+}
+
+Graph FreezeVariables(const Graph& g, Dictionary* dict, TermMap* freeze_out) {
+  *freeze_out = TermMap();
+  return FreezeVariablesWith(g, dict, freeze_out);
+}
+
+}  // namespace swdb

@@ -1,0 +1,51 @@
+#ifndef SWDB_QUERY_QUERY_H_
+#define SWDB_QUERY_QUERY_H_
+
+#include <vector>
+
+#include "rdf/graph.h"
+#include "rdf/map.h"
+#include "rdf/term.h"
+#include "util/status.h"
+
+namespace swdb {
+
+/// A query q = (H, B, P, C) (paper Def. 4.1):
+///  - H (head) and B (body) form a tableau: pattern graphs over
+///    UB ∪ V, where B has no blank nodes and var(H) ⊆ var(B);
+///  - P (premise) is a graph over UB (no variables) the user supplies as
+///    a hypothesis (§4.2);
+///  - C (constraints) is a set of variables of H that must be bound to
+///    non-blank terms in every answer (the IS-NOT-NULL analogue).
+struct Query {
+  Graph head;
+  Graph body;
+  Graph premise;
+  std::vector<Term> constraints;
+
+  /// Validates Def. 4.1's side conditions: every variable of the head
+  /// occurs in the body, the body has no blank nodes, every triple is a
+  /// well-formed pattern, the premise has no variables, and every
+  /// constraint is a variable of the head.
+  Status Validate() const;
+
+  /// The identity query (?X,?Y,?Z) ← (?X,?Y,?Z) (paper Note 4.7);
+  /// variables interned in dict.
+  static Query Identity(Dictionary* dict);
+};
+
+/// Replaces each variable of g by a distinguished fresh URI, recording
+/// the var → URI map in freeze_out. Used to treat query variables as
+/// ground elements ("fresh constants") the way the containment
+/// characterizations (Thm 5.5/5.7/5.8) and the canonical databases in
+/// their proofs do.
+Graph FreezeVariables(const Graph& g, Dictionary* dict, TermMap* freeze_out);
+
+/// Applies an existing freeze map (extending it with fresh URIs for any
+/// new variables).
+Graph FreezeVariablesWith(const Graph& g, Dictionary* dict,
+                          TermMap* freeze_in_out);
+
+}  // namespace swdb
+
+#endif  // SWDB_QUERY_QUERY_H_

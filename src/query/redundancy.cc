@@ -1,0 +1,81 @@
+#include "query/redundancy.h"
+
+#include <algorithm>
+
+namespace swdb {
+
+namespace {
+
+Status CheckBlankDisjoint(const std::vector<Graph>& answers) {
+  std::vector<Term> seen;
+  for (const Graph& g : answers) {
+    for (Term b : g.BlankNodes()) {
+      if (std::binary_search(seen.begin(), seen.end(), b)) {
+        return Status::InvalidArgument(
+            "merge-semantics answers must be pairwise blank-disjoint");
+      }
+    }
+    std::vector<Term> blanks = g.BlankNodes();
+    std::vector<Term> merged;
+    std::set_union(seen.begin(), seen.end(), blanks.begin(), blanks.end(),
+                   std::back_inserter(merged));
+    seen = std::move(merged);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<bool> IsMergeAnswerLean(const std::vector<Graph>& single_answers,
+                               MatchOptions options) {
+  Status disjoint = CheckBlankDisjoint(single_answers);
+  if (!disjoint.ok()) return disjoint;
+
+  Graph merged;
+  for (const Graph& g : single_answers) merged.InsertAll(g);
+
+  // Thm 6.3: every endomorphism of the merge is a union of single maps
+  // μ_j : G_j → A, and since identity is always available for the other
+  // components, the merge is non-lean iff some single answer G_k has a
+  // non-ground triple t and a map G_k → A \ {t}.
+  for (const Graph& g : single_answers) {
+    for (const Triple& t : g) {
+      if (t.IsGround()) continue;
+      Graph target = merged;
+      target.Erase(t);
+      PatternMatcher matcher(g.triples(), &target, options);
+      Result<std::optional<TermMap>> hom = matcher.FindAny();
+      if (!hom.ok()) return hom.status();
+      if (hom->has_value()) return false;  // proper endomorphism exists
+    }
+  }
+  return true;
+}
+
+Result<std::vector<Graph>> EliminateMergeRedundancy(
+    std::vector<Graph> single_answers, MatchOptions options) {
+  Status disjoint = CheckBlankDisjoint(single_answers);
+  if (!disjoint.ok()) return disjoint;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t k = 0; k < single_answers.size(); ++k) {
+      Graph rest;
+      for (size_t j = 0; j < single_answers.size(); ++j) {
+        if (j != k) rest.InsertAll(single_answers[j]);
+      }
+      PatternMatcher matcher(single_answers[k].triples(), &rest, options);
+      Result<std::optional<TermMap>> hom = matcher.FindAny();
+      if (!hom.ok()) return hom.status();
+      if (hom->has_value()) {
+        single_answers.erase(single_answers.begin() + k);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return single_answers;
+}
+
+}  // namespace swdb

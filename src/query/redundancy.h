@@ -1,0 +1,39 @@
+#ifndef SWDB_QUERY_REDUNDANCY_H_
+#define SWDB_QUERY_REDUNDANCY_H_
+
+#include <vector>
+
+#include "rdf/graph.h"
+#include "rdf/hom.h"
+#include "util/status.h"
+
+namespace swdb {
+
+/// Redundancy elimination over answer sets (paper §6.2).
+///
+/// Under union semantics, deciding whether ans∪(q, D) is lean is
+/// coNP-complete (Thm 6.2) — the answer graph is arbitrary, so the
+/// general leanness test applies. Under merge semantics the single
+/// answers share no blank nodes, and Thm 6.3 gives a polynomial
+/// algorithm: every endomorphism of the merged answer is a union of
+/// *single maps* (maps from one single answer into the whole), so it
+/// suffices to look for (1) a proper single map, or (2) two single maps
+/// whose blank images collide.
+
+/// Polynomial-time leanness test for a merge-semantics answer, given its
+/// single answers (which must be pairwise blank-disjoint). Implements
+/// the algorithm in the proof of Thm 6.3. Returns true iff the merge
+/// (union) of the answers is lean.
+Result<bool> IsMergeAnswerLean(const std::vector<Graph>& single_answers,
+                               MatchOptions options = MatchOptions());
+
+/// Removes redundant single answers from a merge-semantics answer set in
+/// polynomial time: an answer subsumed by (mappable into) the union of
+/// the others is dropped. The result is the lean core of the merged
+/// answer when each single answer is itself lean.
+Result<std::vector<Graph>> EliminateMergeRedundancy(
+    std::vector<Graph> single_answers, MatchOptions options = MatchOptions());
+
+}  // namespace swdb
+
+#endif  // SWDB_QUERY_REDUNDANCY_H_

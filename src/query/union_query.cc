@@ -1,0 +1,86 @@
+#include "query/union_query.h"
+
+#include <algorithm>
+
+#include "query/containment.h"
+#include "query/premise.h"
+
+namespace swdb {
+
+Status UnionQuery::Validate() const {
+  for (const Query& q : branches) {
+    Status s = q.Validate();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+UnionQuery UnionQuery::Of(Query q) {
+  UnionQuery u;
+  u.branches.push_back(std::move(q));
+  return u;
+}
+
+Result<UnionQuery> UnionQuery::FromPremiseQuery(const Query& q,
+                                                MatchOptions options) {
+  Result<std::vector<Query>> omega = EliminatePremise(q, options);
+  if (!omega.ok()) return omega.status();
+  UnionQuery u;
+  u.branches = *std::move(omega);
+  return u;
+}
+
+Result<Graph> AnswerUnionQuery(QueryEvaluator* evaluator,
+                               const UnionQuery& q, const Graph& db) {
+  Graph out;
+  for (const Query& branch : q.branches) {
+    Result<Graph> part = evaluator->AnswerUnion(branch, db);
+    if (!part.ok()) return part.status();
+    out.InsertAll(*part);
+  }
+  return out;
+}
+
+Result<std::vector<Graph>> PreAnswerUnionQuery(QueryEvaluator* evaluator,
+                                               const UnionQuery& q,
+                                               const Graph& db) {
+  std::vector<Graph> all;
+  for (const Query& branch : q.branches) {
+    Result<std::vector<Graph>> part = evaluator->PreAnswer(branch, db);
+    if (!part.ok()) return part.status();
+    all.insert(all.end(), part->begin(), part->end());
+  }
+  std::sort(all.begin(), all.end(), [](const Graph& a, const Graph& b) {
+    return a.triples() < b.triples();
+  });
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+Result<bool> UnionContainedStandardSimple(const UnionQuery& q,
+                                          const Query& q_prime,
+                                          Dictionary* dict,
+                                          MatchOptions options) {
+  for (const Query& branch : q.branches) {
+    Result<bool> one =
+        ContainedStandardSimple(branch, q_prime, dict, options);
+    if (!one.ok()) return one.status();
+    if (!*one) return false;
+  }
+  return true;
+}
+
+Result<bool> UnionContainedEntailmentSimple(const UnionQuery& q,
+                                            const Query& q_prime,
+                                            Dictionary* dict,
+                                            MatchOptions options) {
+  for (const Query& branch : q.branches) {
+    Result<bool> one =
+        ContainedEntailmentSimple(branch, q_prime, dict, options);
+    if (!one.ok()) return one.status();
+    if (!*one) return false;
+  }
+  return true;
+}
+
+}  // namespace swdb

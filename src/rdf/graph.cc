@@ -1,0 +1,158 @@
+#include "rdf/graph.h"
+
+#include <algorithm>
+
+namespace swdb {
+
+Graph::Graph(std::initializer_list<Triple> triples)
+    : triples_(triples) {
+  Normalize();
+}
+
+Graph::Graph(std::vector<Triple> triples) : triples_(std::move(triples)) {
+  Normalize();
+}
+
+void Graph::Normalize() {
+  std::sort(triples_.begin(), triples_.end());
+  triples_.erase(std::unique(triples_.begin(), triples_.end()),
+                 triples_.end());
+  indexes_valid_ = false;
+}
+
+bool Graph::Insert(const Triple& t) {
+  auto it = std::lower_bound(triples_.begin(), triples_.end(), t);
+  if (it != triples_.end() && *it == t) return false;
+  triples_.insert(it, t);
+  indexes_valid_ = false;
+  return true;
+}
+
+void Graph::InsertAll(const Graph& other) {
+  if (other.empty()) return;
+  std::vector<Triple> merged;
+  merged.reserve(triples_.size() + other.triples_.size());
+  std::set_union(triples_.begin(), triples_.end(), other.triples_.begin(),
+                 other.triples_.end(), std::back_inserter(merged));
+  triples_ = std::move(merged);
+  indexes_valid_ = false;
+}
+
+bool Graph::Erase(const Triple& t) {
+  auto it = std::lower_bound(triples_.begin(), triples_.end(), t);
+  if (it == triples_.end() || *it != t) return false;
+  triples_.erase(it);
+  indexes_valid_ = false;
+  return true;
+}
+
+bool Graph::Contains(const Triple& t) const {
+  return std::binary_search(triples_.begin(), triples_.end(), t);
+}
+
+bool Graph::IsSubgraphOf(const Graph& other) const {
+  return std::includes(other.triples_.begin(), other.triples_.end(),
+                       triples_.begin(), triples_.end());
+}
+
+std::vector<Term> Graph::Universe() const {
+  std::vector<Term> terms;
+  terms.reserve(triples_.size() * 3);
+  for (const Triple& t : triples_) {
+    terms.push_back(t.s);
+    terms.push_back(t.p);
+    terms.push_back(t.o);
+  }
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  return terms;
+}
+
+std::vector<Term> Graph::Vocabulary() const {
+  std::vector<Term> terms = Universe();
+  terms.erase(std::remove_if(terms.begin(), terms.end(),
+                             [](Term t) { return !t.IsIri(); }),
+              terms.end());
+  return terms;
+}
+
+std::vector<Term> Graph::BlankNodes() const {
+  std::vector<Term> terms = Universe();
+  terms.erase(std::remove_if(terms.begin(), terms.end(),
+                             [](Term t) { return !t.IsBlank(); }),
+              terms.end());
+  return terms;
+}
+
+std::vector<Term> Graph::Variables() const {
+  std::vector<Term> terms = Universe();
+  terms.erase(std::remove_if(terms.begin(), terms.end(),
+                             [](Term t) { return !t.IsVar(); }),
+              terms.end());
+  return terms;
+}
+
+bool Graph::IsGround() const {
+  for (const Triple& t : triples_) {
+    if (!t.IsGround()) return false;
+  }
+  return true;
+}
+
+bool Graph::IsSimple() const {
+  for (const Triple& t : triples_) {
+    if (vocab::IsRdfsVocab(t.s) || vocab::IsRdfsVocab(t.p) ||
+        vocab::IsRdfsVocab(t.o)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Graph::IsWellFormedData() const {
+  for (const Triple& t : triples_) {
+    if (!t.IsWellFormedData()) return false;
+  }
+  return true;
+}
+
+Graph Graph::Union(const Graph& g1, const Graph& g2) {
+  Graph out = g1;
+  out.InsertAll(g2);
+  return out;
+}
+
+void Graph::EnsureIndexes() const {
+  if (indexes_valid_) return;
+  const size_t n = triples_.size();
+  pso_.resize(n);
+  pos_.resize(n);
+  for (uint32_t i = 0; i < n; ++i) pso_[i] = pos_[i] = i;
+  std::sort(pso_.begin(), pso_.end(), [this](uint32_t a, uint32_t b) {
+    const Triple& x = triples_[a];
+    const Triple& y = triples_[b];
+    if (x.p != y.p) return x.p < y.p;
+    if (x.s != y.s) return x.s < y.s;
+    return x.o < y.o;
+  });
+  std::sort(pos_.begin(), pos_.end(), [this](uint32_t a, uint32_t b) {
+    const Triple& x = triples_[a];
+    const Triple& y = triples_[b];
+    if (x.p != y.p) return x.p < y.p;
+    if (x.o != y.o) return x.o < y.o;
+    return x.s < y.s;
+  });
+  indexes_valid_ = true;
+}
+
+size_t Graph::CountMatches(std::optional<Term> s, std::optional<Term> p,
+                           std::optional<Term> o) const {
+  size_t count = 0;
+  Match(s, p, o, [&count](const Triple&) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+}  // namespace swdb

@@ -1,0 +1,160 @@
+#ifndef SWDB_RDF_GRAPH_H_
+#define SWDB_RDF_GRAPH_H_
+
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace swdb {
+
+/// An RDF graph: a finite set of RDF triples (paper Def. 2.1).
+///
+/// Triples are kept in a sorted, deduplicated vector in (s, p, o) order.
+/// Two auxiliary permutations in (p, s, o) and (p, o, s) order are built
+/// lazily to serve the pattern-matching queries issued by the
+/// homomorphism solver and the closure fixpoint; any mutation invalidates
+/// them.
+///
+/// Graph is equally used for *pattern* sets (query bodies/heads), in
+/// which case triples may contain variables.
+class Graph {
+ public:
+  using const_iterator = std::vector<Triple>::const_iterator;
+
+  Graph() = default;
+  Graph(std::initializer_list<Triple> triples);
+  explicit Graph(std::vector<Triple> triples);
+
+  /// Inserts a triple; returns true if it was not already present.
+  bool Insert(const Triple& t);
+  void Insert(Term s, Term p, Term o) { Insert(Triple(s, p, o)); }
+  /// Inserts all triples of other.
+  void InsertAll(const Graph& other);
+  /// Removes a triple; returns true if it was present.
+  bool Erase(const Triple& t);
+
+  bool Contains(const Triple& t) const;
+  size_t size() const { return triples_.size(); }
+  bool empty() const { return triples_.empty(); }
+  const_iterator begin() const { return triples_.begin(); }
+  const_iterator end() const { return triples_.end(); }
+  const std::vector<Triple>& triples() const { return triples_; }
+  const Triple& operator[](size_t i) const { return triples_[i]; }
+
+  bool operator==(const Graph& other) const {
+    return triples_ == other.triples_;
+  }
+  bool operator!=(const Graph& other) const { return !(*this == other); }
+
+  /// True if *this ⊆ other as sets of triples (i.e. *this is a subgraph).
+  bool IsSubgraphOf(const Graph& other) const;
+
+  /// universe(G): all elements of UB (and variables, for patterns)
+  /// occurring in some triple. Sorted ascending.
+  std::vector<Term> Universe() const;
+  /// voc(G) = universe(G) ∩ U. Sorted ascending.
+  std::vector<Term> Vocabulary() const;
+  /// The blank nodes occurring in the graph. Sorted ascending.
+  std::vector<Term> BlankNodes() const;
+  /// The variables occurring in the pattern. Sorted ascending.
+  std::vector<Term> Variables() const;
+
+  /// True if the graph has no blank nodes (paper Def. 2.1).
+  bool IsGround() const;
+  /// True if the graph does not mention the RDFS vocabulary in any
+  /// position (paper Def. 2.2).
+  bool IsSimple() const;
+  /// True if every triple is well-formed data (no variables).
+  bool IsWellFormedData() const;
+
+  /// Set-theoretic union G1 ∪ G2 (paper §2.1; blank nodes shared).
+  static Graph Union(const Graph& g1, const Graph& g2);
+
+  /// Matches a pattern triple against the graph. Wildcard = std::nullopt.
+  /// Invokes visitor for every matching triple; stops early (returning
+  /// false) if the visitor returns false. Returns false iff stopped early.
+  template <typename Visitor>
+  bool Match(std::optional<Term> s, std::optional<Term> p,
+             std::optional<Term> o, Visitor&& visitor) const;
+
+  /// Number of triples matching the given pattern.
+  size_t CountMatches(std::optional<Term> s, std::optional<Term> p,
+                      std::optional<Term> o) const;
+
+ private:
+  void Normalize();
+  void EnsureIndexes() const;
+
+  // Sorted (s,p,o), deduplicated.
+  std::vector<Triple> triples_;
+
+  // Lazily built permutations of indices into triples_.
+  mutable bool indexes_valid_ = false;
+  mutable std::vector<uint32_t> pso_;  // sorted by (p,s,o)
+  mutable std::vector<uint32_t> pos_;  // sorted by (p,o,s)
+};
+
+// ---------------------------------------------------------------------------
+// Inline/template implementation.
+
+template <typename Visitor>
+bool Graph::Match(std::optional<Term> s, std::optional<Term> p,
+                  std::optional<Term> o, Visitor&& visitor) const {
+  auto emit = [&](const Triple& t) -> bool {
+    if (s && t.s != *s) return true;
+    if (p && t.p != *p) return true;
+    if (o && t.o != *o) return true;
+    return visitor(t);
+  };
+  if (s) {
+    // spo order: binary search on subject.
+    auto lo = std::lower_bound(
+        triples_.begin(), triples_.end(), *s,
+        [](const Triple& t, const Term& key) { return t.s < key; });
+    for (auto it = lo; it != triples_.end() && it->s == *s; ++it) {
+      if (p && it->p != *p) {
+        if (it->p > *p) break;  // spo order is sorted by p within s
+        continue;
+      }
+      if (!emit(*it)) return false;
+    }
+    return true;
+  }
+  if (p) {
+    EnsureIndexes();
+    const std::vector<uint32_t>& perm = o ? pos_ : pso_;
+    auto lo = std::lower_bound(
+        perm.begin(), perm.end(), *p,
+        [this](uint32_t i, const Term& key) { return triples_[i].p < key; });
+    for (auto it = lo; it != perm.end() && triples_[*it].p == *p; ++it) {
+      const Triple& t = triples_[*it];
+      if (o && t.o != *o) {
+        if (t.o > *o) break;  // pos order is sorted by o within p
+        continue;
+      }
+      if (!emit(t)) return false;
+    }
+    return true;
+  }
+  if (o) {
+    EnsureIndexes();
+    // No o-first index; scan pos_ fully (rare pattern).
+    for (uint32_t i : pos_) {
+      if (triples_[i].o == *o && !emit(triples_[i])) return false;
+    }
+    return true;
+  }
+  for (const Triple& t : triples_) {
+    if (!visitor(t)) return false;
+  }
+  return true;
+}
+
+}  // namespace swdb
+
+#endif  // SWDB_RDF_GRAPH_H_

@@ -1,0 +1,200 @@
+#include "rdf/hom.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "util/check.h"
+
+namespace swdb {
+
+namespace {
+
+// An open term is one the matcher must assign: a blank node or variable.
+bool IsOpen(Term t) { return !t.IsIri(); }
+
+}  // namespace
+
+PatternMatcher::PatternMatcher(std::vector<Triple> pattern,
+                               const Graph* target, MatchOptions options)
+    : pattern_(std::move(pattern)), target_(target), options_(options) {
+  assert(target_ != nullptr);
+}
+
+Status PatternMatcher::Enumerate(
+    const std::function<bool(const TermMap&)>& visitor) {
+  steps_ = 0;
+  budget_exhausted_ = false;
+  assignment_ = TermMap();
+  used_blank_values_.clear();
+  pending_.clear();
+
+  // Fully ground pattern triples are containment checks; fail fast.
+  for (size_t i = 0; i < pattern_.size(); ++i) {
+    const Triple& t = pattern_[i];
+    if (!IsOpen(t.s) && !IsOpen(t.p) && !IsOpen(t.o)) {
+      bool excluded = options_.exclude_triple && t == *options_.exclude_triple;
+      if (excluded || !target_->Contains(t)) {
+        return Status::OK();  // no solutions
+      }
+    } else {
+      pending_.push_back(i);
+    }
+  }
+
+  bool stopped = false;
+  Search(0, visitor, &stopped);
+  if (budget_exhausted_) {
+    return Status::LimitExceeded("pattern matcher step budget exhausted");
+  }
+  return Status::OK();
+}
+
+size_t PatternMatcher::PickNext(size_t depth, size_t* count_estimate) const {
+  size_t best = depth;
+  size_t best_count = std::numeric_limits<size_t>::max();
+  for (size_t i = depth; i < pending_.size(); ++i) {
+    const Triple& t = pattern_[pending_[i]];
+    Term s = assignment_.Apply(t.s);
+    Term p = assignment_.Apply(t.p);
+    Term o = assignment_.Apply(t.o);
+    // Count matches, but stop as soon as the current best is reached —
+    // such a triple cannot win, and full counts over large predicate
+    // ranges would dominate the search otherwise.
+    size_t count = 0;
+    target_->Match(IsOpen(s) ? std::nullopt : std::optional<Term>(s),
+                   IsOpen(p) ? std::nullopt : std::optional<Term>(p),
+                   IsOpen(o) ? std::nullopt : std::optional<Term>(o),
+                   [&count, best_count](const Triple&) {
+                     return ++count < best_count;
+                   });
+    if (count < best_count) {
+      best_count = count;
+      best = i;
+      if (count == 0) break;
+    }
+  }
+  *count_estimate = best_count;
+  return best;
+}
+
+bool PatternMatcher::TryBind(const Triple& pt, const Triple& tt,
+                             std::vector<Term>* newly_bound) {
+  const Term pattern_terms[3] = {pt.s, pt.p, pt.o};
+  const Term target_terms[3] = {tt.s, tt.p, tt.o};
+  for (int i = 0; i < 3; ++i) {
+    Term p = pattern_terms[i];
+    Term v = target_terms[i];
+    if (!IsOpen(p)) {
+      if (p != v) return false;
+      continue;
+    }
+    if (assignment_.IsBound(p)) {
+      if (assignment_.Apply(p) != v) return false;
+      continue;
+    }
+    if (p.IsBlank()) {
+      if (options_.blanks_to_blanks_only && !v.IsBlank()) return false;
+      if (options_.injective_blanks &&
+          std::find(used_blank_values_.begin(), used_blank_values_.end(),
+                    v) != used_blank_values_.end()) {
+        return false;
+      }
+      used_blank_values_.push_back(v);
+    }
+    assignment_.Bind(p, v);
+    newly_bound->push_back(p);
+  }
+  return true;
+}
+
+bool PatternMatcher::Search(size_t depth,
+                            const std::function<bool(const TermMap&)>& visitor,
+                            bool* stopped) {
+  if (budget_exhausted_ || *stopped) return false;
+  if (++steps_ > options_.max_steps) {
+    budget_exhausted_ = true;
+    return false;
+  }
+  if (depth == pending_.size()) {
+    if (!visitor(assignment_)) *stopped = true;
+    return true;
+  }
+
+  size_t estimate = 16;
+  size_t pick = depth;
+  if (!options_.static_order) {
+    pick = PickNext(depth, &estimate);
+  }
+  std::swap(pending_[depth], pending_[pick]);
+  const Triple& pt = pattern_[pending_[depth]];
+
+  Term s = assignment_.Apply(pt.s);
+  Term p = assignment_.Apply(pt.p);
+  Term o = assignment_.Apply(pt.o);
+
+  // Materialize candidates first: recursion below mutates the graph's
+  // lazily-built index state only via const access, but may re-enter
+  // Match; collecting keeps the iteration simple and safe.
+  std::vector<Triple> candidates;
+  candidates.reserve(estimate);
+  target_->Match(IsOpen(s) ? std::nullopt : std::optional<Term>(s),
+                 IsOpen(p) ? std::nullopt : std::optional<Term>(p),
+                 IsOpen(o) ? std::nullopt : std::optional<Term>(o),
+                 [this, &candidates](const Triple& t) {
+                   if (!options_.exclude_triple ||
+                       t != *options_.exclude_triple) {
+                     candidates.push_back(t);
+                   }
+                   return true;
+                 });
+
+  for (const Triple& tt : candidates) {
+    std::vector<Term> newly_bound;
+    size_t used_mark = used_blank_values_.size();
+    if (TryBind(pt, tt, &newly_bound)) {
+      Search(depth + 1, visitor, stopped);
+    }
+    for (Term t : newly_bound) assignment_.Unbind(t);
+    used_blank_values_.resize(used_mark);
+    if (budget_exhausted_ || *stopped) break;
+  }
+
+  std::swap(pending_[depth], pending_[pick]);
+  return true;
+}
+
+Result<std::optional<TermMap>> PatternMatcher::FindAny() {
+  std::optional<TermMap> found;
+  Status s = Enumerate([&found](const TermMap& m) {
+    found = m;
+    return false;
+  });
+  if (!s.ok() && !found.has_value()) return s;
+  return found;
+}
+
+Result<std::optional<TermMap>> FindHomomorphism(const Graph& from,
+                                                const Graph& to,
+                                                MatchOptions options) {
+  PatternMatcher matcher(from.triples(), &to, options);
+  return matcher.FindAny();
+}
+
+bool HasHomomorphism(const Graph& from, const Graph& to) {
+  Result<std::optional<TermMap>> r = FindHomomorphism(from, to);
+  SWDB_CHECK(r.ok(),
+             "homomorphism step budget exhausted; use FindHomomorphism "
+             "with explicit MatchOptions for graceful degradation");
+  return r->has_value();
+}
+
+bool SimpleEntails(const Graph& g1, const Graph& g2) {
+  return HasHomomorphism(g2, g1);
+}
+
+bool SimpleEquivalent(const Graph& g1, const Graph& g2) {
+  return SimpleEntails(g1, g2) && SimpleEntails(g2, g1);
+}
+
+}  // namespace swdb

@@ -1,0 +1,116 @@
+#ifndef SWDB_RDF_HOM_H_
+#define SWDB_RDF_HOM_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "rdf/map.h"
+#include "util/status.h"
+
+namespace swdb {
+
+/// Options for the backtracking pattern matcher.
+struct MatchOptions {
+  /// Backtracking-step budget; exceeding it yields kLimitExceeded. The
+  /// underlying problems are NP-complete (paper Thm 2.9), so a budget
+  /// keeps adversarial instances from hanging the caller.
+  uint64_t max_steps = 50'000'000;
+
+  /// Restrict the image of open *blank* terms to blank nodes of the
+  /// target (used by the isomorphism search).
+  bool blanks_to_blanks_only = false;
+
+  /// Require open blank terms to take pairwise-distinct values (used by
+  /// the isomorphism search).
+  bool injective_blanks = false;
+
+  /// Treat the target graph as if this triple were absent. Lets callers
+  /// probe "does the pattern map into target \ {t}" for many t without
+  /// copying the target or invalidating its cached indexes (the
+  /// leanness/core hot path).
+  std::optional<Triple> exclude_triple;
+
+  /// Disable the most-constrained-first dynamic triple ordering and
+  /// process pattern triples in their given order instead. Exists for
+  /// ablation benchmarks; expect exponentially worse behaviour on joins.
+  bool static_order = false;
+};
+
+/// Backtracking solver that enumerates all assignments μ of the *open*
+/// terms of a pattern (its blank nodes and variables) such that
+/// μ(pattern) ⊆ target.
+///
+/// This single engine implements the map-existence characterizations of
+/// the paper: simple entailment (Thm 2.8(2)), RDFS entailment via the
+/// closure (Thm 2.8(1)), leanness (Def. 3.7), query matching (§4.1) and
+/// the containment tests (Thm 5.5/5.8).
+///
+/// The search assigns one pattern triple at a time, always choosing the
+/// pending triple with the fewest matching target triples under the
+/// current partial assignment (most-constrained-first), and enumerates
+/// its matches through the target graph's (s,p,o)/(p,s,o)/(p,o,s)
+/// indexes.
+class PatternMatcher {
+ public:
+  /// The target graph must outlive the matcher and contain no variables.
+  PatternMatcher(std::vector<Triple> pattern, const Graph* target,
+                 MatchOptions options = MatchOptions());
+
+  /// Enumerates assignments. The visitor is called once per solution map
+  /// (distinct solutions, no duplicates); returning false stops the
+  /// enumeration early. Returns kLimitExceeded if the step budget was
+  /// exhausted before the search space was covered, OK otherwise (early
+  /// stop by the visitor is still OK).
+  Status Enumerate(const std::function<bool(const TermMap&)>& visitor);
+
+  /// Convenience: the first solution found, if any.
+  Result<std::optional<TermMap>> FindAny();
+
+  /// Number of backtracking steps consumed by the last call.
+  uint64_t steps_used() const { return steps_; }
+
+ private:
+  bool Search(size_t depth, const std::function<bool(const TermMap&)>& visitor,
+              bool* stopped);
+  // Returns the index (into pending_) of the cheapest pending triple and
+  // its candidate count estimate.
+  size_t PickNext(size_t depth, size_t* count_estimate) const;
+  // Tries to bind the open positions of pattern triple `pt` to match
+  // target triple `tt`. Records newly bound terms in newly_bound.
+  bool TryBind(const Triple& pt, const Triple& tt,
+               std::vector<Term>* newly_bound);
+
+  std::vector<Triple> pattern_;
+  const Graph* target_;
+  MatchOptions options_;
+
+  // Search state.
+  std::vector<size_t> pending_;  // indices of unprocessed pattern triples
+  TermMap assignment_;
+  std::vector<Term> used_blank_values_;  // for injectivity checks
+  uint64_t steps_ = 0;
+  bool budget_exhausted_ = false;
+};
+
+/// Finds a map μ with μ(from) ⊆ to (a homomorphism between RDF graphs).
+Result<std::optional<TermMap>> FindHomomorphism(
+    const Graph& from, const Graph& to, MatchOptions options = MatchOptions());
+
+/// True iff a homomorphism from → to exists. Asserts the step budget was
+/// not exhausted; use FindHomomorphism for budget-aware callers.
+bool HasHomomorphism(const Graph& from, const Graph& to);
+
+/// Simple entailment g1 ⊨ g2 for simple graphs, characterized by the
+/// existence of a map g2 → g1 (paper Thm 2.8(2)). This function computes
+/// exactly that map condition; for graphs with RDFS vocabulary use
+/// RdfsEntails (inference/closure.h) which first closes g1.
+bool SimpleEntails(const Graph& g1, const Graph& g2);
+
+/// Simple equivalence: maps in both directions (paper §2.3.1).
+bool SimpleEquivalent(const Graph& g1, const Graph& g2);
+
+}  // namespace swdb
+
+#endif  // SWDB_RDF_HOM_H_

@@ -1,0 +1,23 @@
+#ifndef SWDB_RDF_ISO_H_
+#define SWDB_RDF_ISO_H_
+
+#include <optional>
+
+#include "rdf/graph.h"
+#include "rdf/map.h"
+
+namespace swdb {
+
+/// Tests G1 ≅ G2: the existence of maps μ1, μ2 with μ1(G1) = G2 and
+/// μ2(G2) = G1 (paper §2.1). Such maps necessarily restrict to a
+/// bijection between the blank-node sets, so the search looks for an
+/// injective blank→blank assignment whose image is exactly G2.
+bool AreIsomorphic(const Graph& g1, const Graph& g2);
+
+/// Returns a witnessing map μ with μ(g1) = g2 if the graphs are
+/// isomorphic, std::nullopt otherwise.
+std::optional<TermMap> FindIsomorphism(const Graph& g1, const Graph& g2);
+
+}  // namespace swdb
+
+#endif  // SWDB_RDF_ISO_H_

@@ -1,0 +1,122 @@
+#include "rdf/map.h"
+
+#include <cassert>
+
+namespace swdb {
+
+void TermMap::Bind(Term from, Term to) {
+  assert(!from.IsIri() && "maps must preserve URIs");
+  map_[from] = to;
+}
+
+void TermMap::Unbind(Term from) { map_.erase(from); }
+
+Term TermMap::Apply(Term t) const {
+  auto it = map_.find(t);
+  return it == map_.end() ? t : it->second;
+}
+
+Triple TermMap::Apply(const Triple& t) const {
+  return Triple(Apply(t.s), Apply(t.p), Apply(t.o));
+}
+
+Graph TermMap::Apply(const Graph& g) const {
+  std::vector<Triple> out;
+  out.reserve(g.size());
+  for (const Triple& t : g) {
+    out.push_back(Apply(t));
+  }
+  return Graph(std::move(out));
+}
+
+TermMap TermMap::ComposeWith(const TermMap& other) const {
+  TermMap result;
+  for (const auto& [from, to] : map_) {
+    result.Bind(from, other.Apply(to));
+  }
+  for (const auto& [from, to] : other.map_) {
+    if (!result.IsBound(from)) result.Bind(from, to);
+  }
+  return result;
+}
+
+bool TermMap::operator==(const TermMap& other) const {
+  return map_ == other.map_;
+}
+
+bool IsImageOf(const Graph& g, const TermMap& mu, const Graph& instance) {
+  return mu.Apply(g) == instance;
+}
+
+bool IsProperInstanceMap(const Graph& g, const TermMap& mu) {
+  std::vector<Term> blanks = g.BlankNodes();
+  size_t image_blanks = 0;
+  std::vector<Term> images;
+  images.reserve(blanks.size());
+  for (Term b : blanks) {
+    Term img = mu.Apply(b);
+    if (img.IsBlank()) images.push_back(img);
+  }
+  std::sort(images.begin(), images.end());
+  images.erase(std::unique(images.begin(), images.end()), images.end());
+  image_blanks = images.size();
+  return image_blanks < blanks.size();
+}
+
+Graph FreshBlankCopy(const Graph& g, Dictionary* dict, TermMap* renaming_out) {
+  TermMap renaming;
+  for (Term b : g.BlankNodes()) {
+    renaming.Bind(b, dict->FreshBlank());
+  }
+  Graph copy = renaming.Apply(g);
+  if (renaming_out != nullptr) *renaming_out = std::move(renaming);
+  return copy;
+}
+
+Graph Merge(const Graph& g1, const Graph& g2, Dictionary* dict,
+            TermMap* renaming_out) {
+  // Rename only blanks of g2 that clash with blanks of g1; this keeps the
+  // merge minimal while satisfying "disjoint blank sets" up to iso.
+  std::vector<Term> b1 = g1.BlankNodes();
+  TermMap renaming;
+  for (Term b : g2.BlankNodes()) {
+    if (std::binary_search(b1.begin(), b1.end(), b)) {
+      renaming.Bind(b, dict->FreshBlank());
+    }
+  }
+  Graph out = Graph::Union(g1, renaming.Apply(g2));
+  if (renaming_out != nullptr) *renaming_out = std::move(renaming);
+  return out;
+}
+
+Graph Skolemize(const Graph& g, Dictionary* dict, TermMap* sk_out) {
+  TermMap sk;
+  for (Term b : g.BlankNodes()) {
+    sk.Bind(b, dict->FreshIri());
+  }
+  Graph out = sk.Apply(g);
+  if (sk_out != nullptr) *sk_out = sk;
+  return out;
+}
+
+Graph DeSkolemize(const Graph& h, const TermMap& sk) {
+  // Invert the blank → constant map.
+  std::unordered_map<Term, Term> inverse;
+  for (const auto& [blank, constant] : sk.bindings()) {
+    inverse[constant] = blank;
+  }
+  auto back = [&inverse](Term t) {
+    auto it = inverse.find(t);
+    return it == inverse.end() ? t : it->second;
+  };
+  std::vector<Triple> out;
+  out.reserve(h.size());
+  for (const Triple& t : h) {
+    Triple r(back(t.s), back(t.p), back(t.o));
+    if (!r.IsWellFormedData()) continue;  // drop blank-predicate triples
+    out.push_back(r);
+  }
+  return Graph(std::move(out));
+}
+
+}  // namespace swdb

@@ -1,0 +1,84 @@
+#ifndef SWDB_RDF_MAP_H_
+#define SWDB_RDF_MAP_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "rdf/term.h"
+
+namespace swdb {
+
+/// A map μ : UB → UB preserving URIs (paper §2.1): μ(u) = u for u ∈ U.
+/// Represented sparsely by its action on blank nodes; unmapped terms are
+/// fixed. TermMap is also reused for query valuations v : V → UB by
+/// binding variables (see query/matching.h).
+class TermMap {
+ public:
+  TermMap() = default;
+
+  /// Binds `from` (a blank node or variable) to `to` (any term of UB).
+  /// Rebinding overwrites.
+  void Bind(Term from, Term to);
+
+  /// Removes a binding if present.
+  void Unbind(Term from);
+
+  /// True if `from` has an explicit binding.
+  bool IsBound(Term from) const { return map_.count(from) > 0; }
+
+  /// μ(t): the bound value, or t itself if unbound / a URI.
+  Term Apply(Term t) const;
+
+  /// μ applied positionwise to a triple.
+  Triple Apply(const Triple& t) const;
+
+  /// μ(G): the image graph (paper §2.1). Note |μ(G)| ≤ |G| since distinct
+  /// triples may collapse.
+  Graph Apply(const Graph& g) const;
+
+  /// Composition: (other ∘ this)(t) = other.Apply(this->Apply(t)).
+  /// The result maps every key of *this and of other.
+  TermMap ComposeWith(const TermMap& other) const;
+
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  const std::unordered_map<Term, Term>& bindings() const { return map_; }
+
+  bool operator==(const TermMap& other) const;
+
+ private:
+  std::unordered_map<Term, Term> map_;
+};
+
+/// True if `instance` = μ(g) for the given μ — i.e. checks the image
+/// matches exactly.
+bool IsImageOf(const Graph& g, const TermMap& mu, const Graph& instance);
+
+/// A *proper* instance map for G: μ(G) has fewer blank nodes than G
+/// (μ sends a blank to a URI, or identifies two blanks of G; paper §2.1).
+bool IsProperInstanceMap(const Graph& g, const TermMap& mu);
+
+/// The merge G1 + G2: union with G2's blank nodes renamed apart from
+/// G1's (paper §2.1). Fresh blanks are drawn from dict. The renaming used
+/// is returned through renaming_out when non-null.
+Graph Merge(const Graph& g1, const Graph& g2, Dictionary* dict,
+            TermMap* renaming_out = nullptr);
+
+/// An isomorphic copy of g with every blank node replaced by a fresh one.
+Graph FreshBlankCopy(const Graph& g, Dictionary* dict,
+                     TermMap* renaming_out = nullptr);
+
+/// Skolemization G^*: replaces each blank node X by a fresh constant c_X
+/// (paper §3.1). The blank→constant mapping is recorded in sk_out so the
+/// inverse (·)_* can undo it.
+Graph Skolemize(const Graph& g, Dictionary* dict, TermMap* sk_out);
+
+/// De-Skolemization H_*: replaces each constant c_X back by the blank X
+/// according to `sk` (the map produced by Skolemize), then deletes triples
+/// having blanks in predicate position (paper §3.1).
+Graph DeSkolemize(const Graph& h, const TermMap& sk);
+
+}  // namespace swdb
+
+#endif  // SWDB_RDF_MAP_H_

@@ -1,0 +1,106 @@
+#include "rdf/term.h"
+
+#include <cassert>
+#include "util/str.h"
+
+namespace swdb {
+
+namespace {
+constexpr const char* kVocabNames[] = {
+    "rdfs:subPropertyOf", "rdfs:subClassOf", "rdf:type", "rdfs:domain",
+    "rdfs:range"};
+}  // namespace
+
+Dictionary::Dictionary() {
+  // Reserve the fixed vocabulary ids so they agree across dictionaries.
+  for (const char* name : kVocabNames) {
+    Intern(TermKind::kIri, name);
+  }
+}
+
+Term Dictionary::Intern(TermKind kind, std::string_view name) {
+  auto& idx = index_[static_cast<int>(kind)];
+  auto& pool = names_[static_cast<int>(kind)];
+  auto it = idx.find(std::string(name));
+  if (it != idx.end()) {
+    return Term(kind == TermKind::kIri    ? Term::Iri(it->second)
+                : kind == TermKind::kBlank ? Term::Blank(it->second)
+                                            : Term::Var(it->second));
+  }
+  uint32_t id = static_cast<uint32_t>(pool.size());
+  assert(id < (1u << 30) && "term id space exhausted");
+  pool.emplace_back(name);
+  idx.emplace(pool.back(), id);
+  switch (kind) {
+    case TermKind::kIri:
+      return Term::Iri(id);
+    case TermKind::kBlank:
+      return Term::Blank(id);
+    case TermKind::kVar:
+      return Term::Var(id);
+  }
+  return Term();
+}
+
+Term Dictionary::Iri(std::string_view name) {
+  return Intern(TermKind::kIri, name);
+}
+
+Term Dictionary::Blank(std::string_view label) {
+  return Intern(TermKind::kBlank, label);
+}
+
+Term Dictionary::Var(std::string_view name) {
+  return Intern(TermKind::kVar, name);
+}
+
+Term Dictionary::FreshBlank() {
+  for (;;) {
+    std::string label = "g";
+    label += std::to_string(fresh_counter_++);
+    if (!index_[static_cast<int>(TermKind::kBlank)].count(label)) {
+      return Intern(TermKind::kBlank, label);
+    }
+  }
+}
+
+Term Dictionary::FreshIri() {
+  for (;;) {
+    std::string name = "urn:swdb:skolem:c";
+    name += std::to_string(fresh_counter_++);
+    if (!index_[static_cast<int>(TermKind::kIri)].count(name)) {
+      return Intern(TermKind::kIri, name);
+    }
+  }
+}
+
+Result<Term> Dictionary::FindIri(std::string_view name) const {
+  const auto& idx = index_[static_cast<int>(TermKind::kIri)];
+  auto it = idx.find(std::string(name));
+  if (it == idx.end()) {
+    return Status::NotFound("IRI not interned: " + std::string(name));
+  }
+  return Term::Iri(it->second);
+}
+
+std::string Dictionary::Name(Term t) const {
+  const auto& pool = names_[static_cast<int>(t.kind())];
+  if (t.id() >= pool.size()) {
+    return NumberedName("<unknown#", t.id()) + ">";
+  }
+  switch (t.kind()) {
+    case TermKind::kIri:
+      return pool[t.id()];
+    case TermKind::kBlank:
+      return "_:" + pool[t.id()];
+    case TermKind::kVar:
+      return "?" + pool[t.id()];
+  }
+  return {};
+}
+
+size_t Dictionary::CountOf(TermKind kind) const {
+  return names_[static_cast<int>(kind)].size();
+}
+
+}  // namespace swdb

@@ -1,0 +1,141 @@
+#ifndef SWDB_RDF_TERM_H_
+#define SWDB_RDF_TERM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace swdb {
+
+/// The kind of an RDF term in this library's abstract model (paper §2.1,
+/// §4): a URI reference from U, a blank node from B, or — in query
+/// patterns only — a variable from V.
+enum class TermKind : uint8_t {
+  kIri = 0,
+  kBlank = 1,
+  kVar = 2,
+};
+
+/// A term is an interned (kind, id) pair packed into 32 bits. Terms are
+/// cheap to copy and compare; their textual form lives in a Dictionary.
+///
+/// Ids 0..4 of kind kIri are reserved for the RDFS vocabulary
+/// rdfsV = {sp, sc, type, dom, range} (paper §2.2) and are identical
+/// across all Dictionary instances.
+class Term {
+ public:
+  /// Default-constructed term: the IRI with id 0 (sp). Prefer the named
+  /// factories below.
+  constexpr Term() : bits_(0) {}
+
+  static constexpr Term Iri(uint32_t id) { return Term(TermKind::kIri, id); }
+  static constexpr Term Blank(uint32_t id) {
+    return Term(TermKind::kBlank, id);
+  }
+  static constexpr Term Var(uint32_t id) { return Term(TermKind::kVar, id); }
+
+  constexpr TermKind kind() const {
+    return static_cast<TermKind>(bits_ >> 30);
+  }
+  constexpr uint32_t id() const { return bits_ & 0x3fffffffu; }
+
+  constexpr bool IsIri() const { return kind() == TermKind::kIri; }
+  constexpr bool IsBlank() const { return kind() == TermKind::kBlank; }
+  constexpr bool IsVar() const { return kind() == TermKind::kVar; }
+  /// True for elements of UB (i.e. not a variable).
+  constexpr bool IsName() const { return !IsVar(); }
+
+  constexpr bool operator==(const Term& o) const { return bits_ == o.bits_; }
+  constexpr bool operator!=(const Term& o) const { return bits_ != o.bits_; }
+  constexpr bool operator<(const Term& o) const { return bits_ < o.bits_; }
+  constexpr bool operator<=(const Term& o) const { return bits_ <= o.bits_; }
+  constexpr bool operator>(const Term& o) const { return bits_ > o.bits_; }
+  constexpr bool operator>=(const Term& o) const { return bits_ >= o.bits_; }
+
+  constexpr uint32_t bits() const { return bits_; }
+
+ private:
+  constexpr Term(TermKind kind, uint32_t id)
+      : bits_((static_cast<uint32_t>(kind) << 30) | (id & 0x3fffffffu)) {}
+
+  uint32_t bits_;
+};
+
+/// The five RDFS-vocabulary terms with predefined semantics (paper §2.2):
+/// rdfs:subPropertyOf, rdfs:subClassOf, rdf:type, rdfs:domain, rdfs:range.
+namespace vocab {
+inline constexpr Term kSp = Term::Iri(0);
+inline constexpr Term kSc = Term::Iri(1);
+inline constexpr Term kType = Term::Iri(2);
+inline constexpr Term kDom = Term::Iri(3);
+inline constexpr Term kRange = Term::Iri(4);
+/// Number of reserved vocabulary ids.
+inline constexpr uint32_t kReservedIris = 5;
+/// All five reserved terms, in id order.
+inline constexpr Term kAll[] = {kSp, kSc, kType, kDom, kRange};
+/// True if t is one of the five RDFS-vocabulary terms.
+inline constexpr bool IsRdfsVocab(Term t) {
+  return t.IsIri() && t.id() < kReservedIris;
+}
+}  // namespace vocab
+
+/// Interns term names. A Dictionary owns the string form of every IRI,
+/// blank-node label and variable name used by the graphs built against
+/// it, and allocates fresh blank nodes (for merges, Skolemization and
+/// head-blank instantiation).
+///
+/// Graphs and Terms do not reference their Dictionary; callers keep the
+/// association. Mixing terms from different dictionaries is a usage
+/// error (ids would alias), except for the five reserved RDFS terms.
+class Dictionary {
+ public:
+  Dictionary();
+
+  /// Interns an IRI, returning the existing term if already present.
+  Term Iri(std::string_view name);
+  /// Interns a named blank node (label without the "_:" prefix).
+  Term Blank(std::string_view label);
+  /// Interns a variable (name without the "?" prefix).
+  Term Var(std::string_view name);
+
+  /// Allocates a blank node guaranteed distinct from all existing ones.
+  Term FreshBlank();
+  /// Allocates an IRI guaranteed distinct from all existing ones; used
+  /// as a Skolem constant (paper §3.1) or fresh constant in proofs.
+  Term FreshIri();
+
+  /// Looks up an already-interned IRI.
+  Result<Term> FindIri(std::string_view name) const;
+
+  /// Textual form of a term: IRIs verbatim, blanks as "_:label",
+  /// variables as "?name".
+  std::string Name(Term t) const;
+
+  /// Number of interned terms of the given kind.
+  size_t CountOf(TermKind kind) const;
+
+ private:
+  Term Intern(TermKind kind, std::string_view name);
+
+  // One pool per kind; names_[kind][id] is the stored spelling.
+  std::vector<std::string> names_[3];
+  std::unordered_map<std::string, uint32_t> index_[3];
+  uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace swdb
+
+template <>
+struct std::hash<swdb::Term> {
+  size_t operator()(const swdb::Term& t) const noexcept {
+    // Fibonacci hash of the packed bits.
+    return static_cast<size_t>(t.bits()) * 0x9e3779b97f4a7c15ULL;
+  }
+};
+
+#endif  // SWDB_RDF_TERM_H_

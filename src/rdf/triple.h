@@ -1,0 +1,67 @@
+#ifndef SWDB_RDF_TRIPLE_H_
+#define SWDB_RDF_TRIPLE_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "rdf/term.h"
+#include "util/hash.h"
+
+namespace swdb {
+
+/// An RDF triple (s, p, o) ∈ (U ∪ B) × U × (U ∪ B) (paper Def. 2.1).
+/// The same struct also represents triple *patterns* (query bodies and
+/// heads), where any position may hold a variable; use IsWellFormedData /
+/// IsWellFormedPattern to distinguish.
+struct Triple {
+  Term s;
+  Term p;
+  Term o;
+
+  constexpr Triple() = default;
+  constexpr Triple(Term subject, Term predicate, Term object)
+      : s(subject), p(predicate), o(object) {}
+
+  /// Well-formed as data: subject and object in UB, predicate a URI.
+  constexpr bool IsWellFormedData() const {
+    return s.IsName() && p.IsIri() && o.IsName();
+  }
+
+  /// Well-formed as a pattern: variables allowed in any position, blanks
+  /// not allowed as predicate (not well-defined in the RDF spec).
+  constexpr bool IsWellFormedPattern() const { return !p.IsBlank(); }
+
+  /// True if no position holds a blank node.
+  constexpr bool IsGround() const {
+    return !s.IsBlank() && !p.IsBlank() && !o.IsBlank();
+  }
+
+  /// True if no position holds a variable.
+  constexpr bool HasNoVars() const {
+    return !s.IsVar() && !p.IsVar() && !o.IsVar();
+  }
+
+  constexpr bool operator==(const Triple& t) const {
+    return s == t.s && p == t.p && o == t.o;
+  }
+  constexpr bool operator!=(const Triple& t) const { return !(*this == t); }
+  constexpr bool operator<(const Triple& t) const {
+    if (s != t.s) return s < t.s;
+    if (p != t.p) return p < t.p;
+    return o < t.o;
+  }
+};
+
+}  // namespace swdb
+
+template <>
+struct std::hash<swdb::Triple> {
+  size_t operator()(const swdb::Triple& t) const noexcept {
+    size_t seed = std::hash<swdb::Term>()(t.s);
+    swdb::HashCombine(&seed, std::hash<swdb::Term>()(t.p));
+    swdb::HashCombine(&seed, std::hash<swdb::Term>()(t.o));
+    return seed;
+  }
+};
+
+#endif  // SWDB_RDF_TRIPLE_H_

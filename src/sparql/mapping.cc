@@ -1,0 +1,108 @@
+#include "sparql/mapping.h"
+
+#include <algorithm>
+
+namespace swdb {
+
+namespace {
+
+// Deterministic ordering key: the sorted (variable, value) pairs.
+std::vector<std::pair<Term, Term>> SortedBindings(const Mapping& m) {
+  std::vector<std::pair<Term, Term>> out(m.bindings().begin(),
+                                         m.bindings().end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+bool Compatible(const Mapping& a, const Mapping& b) {
+  // Iterate over the smaller domain.
+  const Mapping& small = a.size() <= b.size() ? a : b;
+  const Mapping& large = a.size() <= b.size() ? b : a;
+  for (const auto& [var, value] : small.bindings()) {
+    if (large.IsBound(var) && large.Apply(var) != value) return false;
+  }
+  return true;
+}
+
+Mapping MergeMappings(const Mapping& a, const Mapping& b) {
+  Mapping merged = a;
+  for (const auto& [var, value] : b.bindings()) {
+    merged.Bind(var, value);
+  }
+  return merged;
+}
+
+MappingSet JoinSets(const MappingSet& a, const MappingSet& b) {
+  MappingSet out;
+  for (const Mapping& m1 : a) {
+    for (const Mapping& m2 : b) {
+      if (Compatible(m1, m2)) {
+        out.push_back(MergeMappings(m1, m2));
+      }
+    }
+  }
+  NormalizeSet(&out);
+  return out;
+}
+
+MappingSet UnionSets(const MappingSet& a, const MappingSet& b) {
+  MappingSet out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  NormalizeSet(&out);
+  return out;
+}
+
+MappingSet DiffSets(const MappingSet& a, const MappingSet& b) {
+  MappingSet out;
+  for (const Mapping& m1 : a) {
+    bool has_compatible = false;
+    for (const Mapping& m2 : b) {
+      if (Compatible(m1, m2)) {
+        has_compatible = true;
+        break;
+      }
+    }
+    if (!has_compatible) out.push_back(m1);
+  }
+  NormalizeSet(&out);
+  return out;
+}
+
+MappingSet LeftJoinSets(const MappingSet& a, const MappingSet& b) {
+  return UnionSets(JoinSets(a, b), DiffSets(a, b));
+}
+
+MappingSet ProjectSet(const MappingSet& set, const std::vector<Term>& vars) {
+  MappingSet out;
+  out.reserve(set.size());
+  for (const Mapping& m : set) {
+    Mapping projected;
+    for (Term var : vars) {
+      if (m.IsBound(var)) projected.Bind(var, m.Apply(var));
+    }
+    out.push_back(std::move(projected));
+  }
+  NormalizeSet(&out);
+  return out;
+}
+
+void NormalizeSet(MappingSet* set) {
+  std::vector<std::pair<std::vector<std::pair<Term, Term>>, size_t>> keyed;
+  keyed.reserve(set->size());
+  for (size_t i = 0; i < set->size(); ++i) {
+    keyed.emplace_back(SortedBindings((*set)[i]), i);
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  MappingSet out;
+  out.reserve(set->size());
+  for (size_t i = 0; i < keyed.size(); ++i) {
+    if (i > 0 && keyed[i].first == keyed[i - 1].first) continue;
+    out.push_back(std::move((*set)[keyed[i].second]));
+  }
+  *set = std::move(out);
+}
+
+}  // namespace swdb

@@ -1,0 +1,49 @@
+#ifndef SWDB_SPARQL_MAPPING_H_
+#define SWDB_SPARQL_MAPPING_H_
+
+#include <vector>
+
+#include "rdf/map.h"
+#include "rdf/term.h"
+
+namespace swdb {
+
+/// SPARQL-algebra mappings, following the formal semantics the paper's
+/// authors later gave to SPARQL (Pérez, Arenas, Gutierrez — reference
+/// [34] of the paper). A mapping is a *partial* valuation μ : V ⇀ UB;
+/// we reuse TermMap, whose binding set is the mapping's domain.
+using Mapping = TermMap;
+
+/// A set of mappings (the value of a graph pattern). Kept deduplicated
+/// and in a deterministic order by the algebra operations.
+using MappingSet = std::vector<Mapping>;
+
+/// μ1 and μ2 are compatible when they agree on every shared variable —
+/// μ1 ∪ μ2 is then itself a mapping ([34] Def. 2).
+bool Compatible(const Mapping& a, const Mapping& b);
+
+/// The union μ1 ∪ μ2 of two compatible mappings.
+Mapping MergeMappings(const Mapping& a, const Mapping& b);
+
+/// Ω1 ⋈ Ω2 = {μ1 ∪ μ2 | μ1 ∈ Ω1, μ2 ∈ Ω2, compatible} ([34] Def. 3).
+MappingSet JoinSets(const MappingSet& a, const MappingSet& b);
+
+/// Ω1 ∪ Ω2, deduplicated.
+MappingSet UnionSets(const MappingSet& a, const MappingSet& b);
+
+/// Ω1 \ Ω2 = {μ1 ∈ Ω1 | no μ2 ∈ Ω2 is compatible with μ1}.
+MappingSet DiffSets(const MappingSet& a, const MappingSet& b);
+
+/// Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪ (Ω1 \ Ω2) — the OPTIONAL operator.
+MappingSet LeftJoinSets(const MappingSet& a, const MappingSet& b);
+
+/// Restricts every mapping to the given variables (SELECT projection);
+/// deduplicates the result.
+MappingSet ProjectSet(const MappingSet& set, const std::vector<Term>& vars);
+
+/// Canonicalizes: sorts by (sorted) bindings and removes duplicates.
+void NormalizeSet(MappingSet* set);
+
+}  // namespace swdb
+
+#endif  // SWDB_SPARQL_MAPPING_H_

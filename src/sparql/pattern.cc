@@ -1,0 +1,238 @@
+#include "sparql/pattern.h"
+
+#include <algorithm>
+
+namespace swdb {
+
+// ---------------------------------------------------------------------------
+// FilterExpr
+
+FilterExpr FilterExpr::Bound(Term var) {
+  FilterExpr e;
+  e.kind_ = Kind::kBound;
+  e.lhs_ = var;
+  return e;
+}
+
+FilterExpr FilterExpr::Equals(Term lhs, Term rhs) {
+  FilterExpr e;
+  e.kind_ = Kind::kEquals;
+  e.lhs_ = lhs;
+  e.rhs_ = rhs;
+  return e;
+}
+
+FilterExpr FilterExpr::And(FilterExpr left, FilterExpr right) {
+  FilterExpr e;
+  e.kind_ = Kind::kAnd;
+  e.children_.push_back(std::make_shared<const FilterExpr>(std::move(left)));
+  e.children_.push_back(
+      std::make_shared<const FilterExpr>(std::move(right)));
+  return e;
+}
+
+FilterExpr FilterExpr::Or(FilterExpr left, FilterExpr right) {
+  FilterExpr e;
+  e.kind_ = Kind::kOr;
+  e.children_.push_back(std::make_shared<const FilterExpr>(std::move(left)));
+  e.children_.push_back(
+      std::make_shared<const FilterExpr>(std::move(right)));
+  return e;
+}
+
+FilterExpr FilterExpr::Not(FilterExpr inner) {
+  FilterExpr e;
+  e.kind_ = Kind::kNot;
+  e.children_.push_back(
+      std::make_shared<const FilterExpr>(std::move(inner)));
+  return e;
+}
+
+bool FilterExpr::Satisfied(const Mapping& m) const {
+  switch (kind_) {
+    case Kind::kBound:
+      return m.IsBound(lhs_);
+    case Kind::kEquals: {
+      // A side that is a variable must be bound; otherwise the
+      // comparison is in error and reads as false.
+      Term l = lhs_;
+      if (l.IsVar()) {
+        if (!m.IsBound(l)) return false;
+        l = m.Apply(l);
+      }
+      Term r = rhs_;
+      if (r.IsVar()) {
+        if (!m.IsBound(r)) return false;
+        r = m.Apply(r);
+      }
+      return l == r;
+    }
+    case Kind::kAnd:
+      return left().Satisfied(m) && right().Satisfied(m);
+    case Kind::kOr:
+      return left().Satisfied(m) || right().Satisfied(m);
+    case Kind::kNot:
+      return !left().Satisfied(m);
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// SparqlPattern
+
+SparqlPattern SparqlPattern::Bgp(Graph triples) {
+  SparqlPattern p;
+  p.kind_ = Kind::kBgp;
+  p.bgp_ = std::move(triples);
+  return p;
+}
+
+SparqlPattern SparqlPattern::And(SparqlPattern left, SparqlPattern right) {
+  SparqlPattern p;
+  p.kind_ = Kind::kAnd;
+  p.children_.push_back(
+      std::make_shared<const SparqlPattern>(std::move(left)));
+  p.children_.push_back(
+      std::make_shared<const SparqlPattern>(std::move(right)));
+  return p;
+}
+
+SparqlPattern SparqlPattern::Optional(SparqlPattern left,
+                                      SparqlPattern right) {
+  SparqlPattern p;
+  p.kind_ = Kind::kOptional;
+  p.children_.push_back(
+      std::make_shared<const SparqlPattern>(std::move(left)));
+  p.children_.push_back(
+      std::make_shared<const SparqlPattern>(std::move(right)));
+  return p;
+}
+
+SparqlPattern SparqlPattern::Union(SparqlPattern left, SparqlPattern right) {
+  SparqlPattern p;
+  p.kind_ = Kind::kUnion;
+  p.children_.push_back(
+      std::make_shared<const SparqlPattern>(std::move(left)));
+  p.children_.push_back(
+      std::make_shared<const SparqlPattern>(std::move(right)));
+  return p;
+}
+
+SparqlPattern SparqlPattern::Filter(SparqlPattern inner,
+                                    FilterExpr condition) {
+  SparqlPattern p;
+  p.kind_ = Kind::kFilter;
+  p.children_.push_back(
+      std::make_shared<const SparqlPattern>(std::move(inner)));
+  p.condition_ = std::make_shared<const FilterExpr>(std::move(condition));
+  return p;
+}
+
+std::vector<Term> SparqlPattern::Variables() const {
+  std::vector<Term> vars;
+  if (kind_ == Kind::kBgp) {
+    vars = bgp_.Variables();
+  } else {
+    for (const auto& child : children_) {
+      std::vector<Term> sub = child->Variables();
+      vars.insert(vars.end(), sub.begin(), sub.end());
+    }
+  }
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return vars;
+}
+
+Status SparqlPattern::Validate() const {
+  if (kind_ == Kind::kBgp) {
+    for (const Triple& t : bgp_) {
+      if (!t.IsWellFormedPattern()) {
+        return Status::InvalidArgument(
+            "BGP triple with a blank node in predicate position");
+      }
+      if (t.s.IsBlank() || t.o.IsBlank()) {
+        return Status::InvalidArgument(
+            "BGPs use variables, not blank nodes");
+      }
+    }
+    return Status::OK();
+  }
+  for (const auto& child : children_) {
+    Status s = child->Validate();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+
+namespace {
+
+Result<MappingSet> EvalBgp(const Graph& g, const Graph& bgp,
+                           const MatchOptions& options) {
+  MappingSet out;
+  PatternMatcher matcher(bgp.triples(), &g, options);
+  Status status = matcher.Enumerate([&out](const Mapping& m) {
+    out.push_back(m);
+    return true;
+  });
+  if (!status.ok()) return status;
+  NormalizeSet(&out);
+  return out;
+}
+
+}  // namespace
+
+Result<MappingSet> EvalPattern(const Graph& g, const SparqlPattern& p,
+                               MatchOptions options) {
+  Status valid = p.Validate();
+  if (!valid.ok()) return valid;
+
+  switch (p.kind()) {
+    case SparqlPattern::Kind::kBgp:
+      return EvalBgp(g, p.bgp(), options);
+    case SparqlPattern::Kind::kAnd: {
+      Result<MappingSet> l = EvalPattern(g, p.left(), options);
+      if (!l.ok()) return l.status();
+      Result<MappingSet> r = EvalPattern(g, p.right(), options);
+      if (!r.ok()) return r.status();
+      return JoinSets(*l, *r);
+    }
+    case SparqlPattern::Kind::kOptional: {
+      Result<MappingSet> l = EvalPattern(g, p.left(), options);
+      if (!l.ok()) return l.status();
+      Result<MappingSet> r = EvalPattern(g, p.right(), options);
+      if (!r.ok()) return r.status();
+      return LeftJoinSets(*l, *r);
+    }
+    case SparqlPattern::Kind::kUnion: {
+      Result<MappingSet> l = EvalPattern(g, p.left(), options);
+      if (!l.ok()) return l.status();
+      Result<MappingSet> r = EvalPattern(g, p.right(), options);
+      if (!r.ok()) return r.status();
+      return UnionSets(*l, *r);
+    }
+    case SparqlPattern::Kind::kFilter: {
+      Result<MappingSet> inner = EvalPattern(g, p.left(), options);
+      if (!inner.ok()) return inner.status();
+      MappingSet out;
+      for (const Mapping& m : *inner) {
+        if (p.condition().Satisfied(m)) out.push_back(m);
+      }
+      NormalizeSet(&out);
+      return out;
+    }
+  }
+  return Status::Internal("unknown pattern kind");
+}
+
+Result<MappingSet> EvalSelect(const Graph& g, const SparqlPattern& p,
+                              const std::vector<Term>& select_vars,
+                              MatchOptions options) {
+  Result<MappingSet> all = EvalPattern(g, p, options);
+  if (!all.ok()) return all.status();
+  return ProjectSet(*all, select_vars);
+}
+
+}  // namespace swdb

@@ -1,0 +1,99 @@
+#ifndef SWDB_SPARQL_PATTERN_H_
+#define SWDB_SPARQL_PATTERN_H_
+
+#include <memory>
+#include <string>
+
+#include "rdf/graph.h"
+#include "rdf/hom.h"
+#include "sparql/mapping.h"
+#include "util/status.h"
+
+namespace swdb {
+
+/// A built-in filter condition R ([34] §2.1): bound(?X), equality
+/// between a variable and a term or another variable, and the Boolean
+/// combinations.
+class FilterExpr {
+ public:
+  enum class Kind { kBound, kEquals, kAnd, kOr, kNot };
+
+  /// bound(?X).
+  static FilterExpr Bound(Term var);
+  /// lhs = rhs, where each side is a variable or a UB term.
+  static FilterExpr Equals(Term lhs, Term rhs);
+  static FilterExpr And(FilterExpr left, FilterExpr right);
+  static FilterExpr Or(FilterExpr left, FilterExpr right);
+  static FilterExpr Not(FilterExpr inner);
+
+  Kind kind() const { return kind_; }
+  Term lhs() const { return lhs_; }
+  Term rhs() const { return rhs_; }
+  const FilterExpr& left() const { return *children_[0]; }
+  const FilterExpr& right() const { return *children_[1]; }
+
+  /// μ ⊨ R. A comparison touching an unbound variable is not satisfied
+  /// (and its negation is), matching [34]'s error-as-false reading.
+  bool Satisfied(const Mapping& m) const;
+
+ private:
+  FilterExpr() = default;
+
+  Kind kind_ = Kind::kBound;
+  Term lhs_;
+  Term rhs_;
+  std::vector<std::shared_ptr<const FilterExpr>> children_;
+};
+
+/// A SPARQL graph pattern ([34] Def. 1): basic graph patterns combined
+/// with AND (join), OPT (left join), UNION and FILTER.
+class SparqlPattern {
+ public:
+  enum class Kind { kBgp, kAnd, kOptional, kUnion, kFilter };
+
+  /// A basic graph pattern: a set of triple patterns evaluated as one
+  /// conjunctive block. Triples may contain variables anywhere and must
+  /// be well-formed patterns; blanks are not allowed (use variables).
+  static SparqlPattern Bgp(Graph triples);
+  static SparqlPattern And(SparqlPattern left, SparqlPattern right);
+  static SparqlPattern Optional(SparqlPattern left, SparqlPattern right);
+  static SparqlPattern Union(SparqlPattern left, SparqlPattern right);
+  static SparqlPattern Filter(SparqlPattern inner, FilterExpr condition);
+
+  Kind kind() const { return kind_; }
+  const Graph& bgp() const { return bgp_; }
+  const SparqlPattern& left() const { return *children_[0]; }
+  const SparqlPattern& right() const { return *children_[1]; }
+  const FilterExpr& condition() const { return *condition_; }
+
+  /// All variables mentioned anywhere in the pattern, sorted.
+  std::vector<Term> Variables() const;
+
+  /// Validates every BGP (well-formed patterns, no blank nodes).
+  Status Validate() const;
+
+ private:
+  SparqlPattern() = default;
+
+  Kind kind_ = Kind::kBgp;
+  Graph bgp_;
+  std::vector<std::shared_ptr<const SparqlPattern>> children_;
+  std::shared_ptr<const FilterExpr> condition_;
+};
+
+/// Evaluates a pattern over a graph: the mapping-set semantics of [34]
+/// (Def. 3): BGPs produce the matchings of their triples; AND joins,
+/// OPT left-joins, UNION unions, FILTER selects. Evaluation is against
+/// g as given — pass RdfsClosure(g) or NormalForm(g) for RDFS-aware
+/// matching.
+Result<MappingSet> EvalPattern(const Graph& g, const SparqlPattern& p,
+                               MatchOptions options = MatchOptions());
+
+/// SELECT: evaluates and projects onto the given variables.
+Result<MappingSet> EvalSelect(const Graph& g, const SparqlPattern& p,
+                              const std::vector<Term>& select_vars,
+                              MatchOptions options = MatchOptions());
+
+}  // namespace swdb
+
+#endif  // SWDB_SPARQL_PATTERN_H_

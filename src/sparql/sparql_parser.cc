@@ -1,0 +1,392 @@
+#include "sparql/sparql_parser.h"
+
+#include <optional>
+
+#include "parser/text.h"
+
+namespace swdb {
+
+namespace {
+
+// Token kinds for the mini-grammar.
+enum class Tok {
+  kEnd,
+  kWord,     // SELECT / WHERE / OPTIONAL / FILTER / bound / term text
+  kVar,      // ?name
+  kStar,     // *
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kDot,
+  kEq,       // =
+  kNeq,      // !=
+  kBang,     // !
+  kAndAnd,   // &&
+  kOrOr,     // ||
+};
+
+struct Token {
+  Tok kind;
+  std::string_view text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) { Advance(); }
+
+  const Token& Peek() const { return current_; }
+
+  Token Take() {
+    Token t = current_;
+    Advance();
+    return t;
+  }
+
+ private:
+  void Advance() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      current_ = {Tok::kEnd, {}};
+      return;
+    }
+    char c = text_[pos_];
+    auto single = [&](Tok kind) {
+      current_ = {kind, text_.substr(pos_, 1)};
+      ++pos_;
+    };
+    switch (c) {
+      case '{':
+        single(Tok::kLBrace);
+        return;
+      case '}':
+        single(Tok::kRBrace);
+        return;
+      case '(':
+        single(Tok::kLParen);
+        return;
+      case ')':
+        single(Tok::kRParen);
+        return;
+      case '.':
+        single(Tok::kDot);
+        return;
+      case '*':
+        single(Tok::kStar);
+        return;
+      case '=':
+        single(Tok::kEq);
+        return;
+      case '!':
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+          current_ = {Tok::kNeq, text_.substr(pos_, 2)};
+          pos_ += 2;
+        } else {
+          single(Tok::kBang);
+        }
+        return;
+      case '&':
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '&') {
+          current_ = {Tok::kAndAnd, text_.substr(pos_, 2)};
+          pos_ += 2;
+          return;
+        }
+        single(Tok::kWord);
+        return;
+      case '|':
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '|') {
+          current_ = {Tok::kOrOr, text_.substr(pos_, 2)};
+          pos_ += 2;
+          return;
+        }
+        single(Tok::kWord);
+        return;
+      default:
+        break;
+    }
+    size_t start = pos_;
+    if (c == '<') {
+      while (pos_ < text_.size() && text_[pos_] != '>') ++pos_;
+      if (pos_ < text_.size()) ++pos_;
+      current_ = {Tok::kWord, text_.substr(start, pos_ - start)};
+      return;
+    }
+    while (pos_ < text_.size()) {
+      char d = text_[pos_];
+      if (d == ' ' || d == '\t' || d == '\n' || d == '\r' || d == '{' ||
+          d == '}' || d == '(' || d == ')' || d == '.' || d == '=' ||
+          d == '!' || d == '&' || d == '|' || d == '*') {
+        break;
+      }
+      ++pos_;
+    }
+    std::string_view word = text_.substr(start, pos_ - start);
+    current_ = {word.front() == '?' ? Tok::kVar : Tok::kWord, word};
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  Token current_{Tok::kEnd, {}};
+};
+
+class Parser {
+ public:
+  Parser(std::string_view text, Dictionary* dict)
+      : lexer_(text), dict_(dict) {}
+
+  Result<SparqlQuery> Parse() {
+    SparqlQuery query;
+    if (!TakeKeyword("SELECT")) {
+      return Error("expected SELECT");
+    }
+    if (lexer_.Peek().kind == Tok::kStar) {
+      lexer_.Take();
+    } else {
+      while (lexer_.Peek().kind == Tok::kVar) {
+        Result<Term> var = ParseTerm(lexer_.Take().text, dict_, true);
+        if (!var.ok()) return var.status();
+        query.select.push_back(*var);
+      }
+      if (query.select.empty()) {
+        return Error("SELECT needs '*' or at least one variable");
+      }
+    }
+    if (!TakeKeyword("WHERE")) {
+      return Error("expected WHERE");
+    }
+    Result<SparqlPattern> group = ParseGroup();
+    if (!group.ok()) return group.status();
+    if (lexer_.Peek().kind != Tok::kEnd) {
+      return Error("trailing input after the WHERE group");
+    }
+    query.pattern = *std::move(group);
+    Status valid = query.pattern.Validate();
+    if (!valid.ok()) return valid;
+    return query;
+  }
+
+ private:
+  Status Error(const std::string& message) {
+    return Status::ParseError("SPARQL: " + message);
+  }
+
+  bool TakeKeyword(std::string_view keyword) {
+    if (lexer_.Peek().kind == Tok::kWord && lexer_.Peek().text == keyword) {
+      lexer_.Take();
+      return true;
+    }
+    return false;
+  }
+
+  // group := '{' element* '}'
+  Result<SparqlPattern> ParseGroup() {
+    if (lexer_.Peek().kind != Tok::kLBrace) {
+      return Error("expected '{'");
+    }
+    lexer_.Take();
+
+    std::optional<SparqlPattern> acc;
+    Graph current_bgp;
+    std::optional<FilterExpr> filter;
+
+    auto flush_bgp = [&]() {
+      if (current_bgp.empty()) return;
+      SparqlPattern bgp = SparqlPattern::Bgp(std::move(current_bgp));
+      current_bgp = Graph();
+      acc = acc.has_value()
+                ? SparqlPattern::And(*std::move(acc), std::move(bgp))
+                : std::move(bgp);
+    };
+
+    for (;;) {
+      const Token& token = lexer_.Peek();
+      if (token.kind == Tok::kRBrace) {
+        lexer_.Take();
+        break;
+      }
+      if (token.kind == Tok::kEnd) {
+        return Error("unterminated group: missing '}'");
+      }
+      if (token.kind == Tok::kWord && token.text == "OPTIONAL") {
+        lexer_.Take();
+        flush_bgp();
+        Result<SparqlPattern> inner = ParseGroup();
+        if (!inner.ok()) return inner.status();
+        SparqlPattern base =
+            acc.has_value() ? *std::move(acc) : SparqlPattern::Bgp(Graph());
+        acc = SparqlPattern::Optional(std::move(base), *std::move(inner));
+        continue;
+      }
+      if (token.kind == Tok::kWord && token.text == "FILTER") {
+        lexer_.Take();
+        if (lexer_.Peek().kind != Tok::kLParen) {
+          return Error("FILTER needs '( ... )'");
+        }
+        lexer_.Take();
+        Result<FilterExpr> cond = ParseOr();
+        if (!cond.ok()) return cond.status();
+        if (lexer_.Peek().kind != Tok::kRParen) {
+          return Error("expected ')' after FILTER condition");
+        }
+        lexer_.Take();
+        filter = filter.has_value()
+                     ? FilterExpr::And(*std::move(filter), *std::move(cond))
+                     : *std::move(cond);
+        continue;
+      }
+      if (token.kind == Tok::kLBrace) {
+        flush_bgp();
+        Result<SparqlPattern> sub = ParseGroup();
+        if (!sub.ok()) return sub.status();
+        SparqlPattern chain = *std::move(sub);
+        while (TakeKeyword("UNION")) {
+          Result<SparqlPattern> next = ParseGroup();
+          if (!next.ok()) return next.status();
+          chain = SparqlPattern::Union(std::move(chain), *std::move(next));
+        }
+        acc = acc.has_value()
+                  ? SparqlPattern::And(*std::move(acc), std::move(chain))
+                  : std::move(chain);
+        continue;
+      }
+      // Otherwise: a triple "term term term .".
+      Result<Triple> triple = ParseTriple();
+      if (!triple.ok()) return triple.status();
+      current_bgp.Insert(*triple);
+    }
+
+    flush_bgp();
+    SparqlPattern result =
+        acc.has_value() ? *std::move(acc) : SparqlPattern::Bgp(Graph());
+    if (filter.has_value()) {
+      result = SparqlPattern::Filter(std::move(result), *std::move(filter));
+    }
+    return result;
+  }
+
+  Result<Triple> ParseTriple() {
+    Term parts[3];
+    for (int i = 0; i < 3; ++i) {
+      const Token& token = lexer_.Peek();
+      if (token.kind != Tok::kWord && token.kind != Tok::kVar) {
+        return Error("expected a term in a triple pattern");
+      }
+      Result<Term> term = ParseTerm(lexer_.Take().text, dict_, true);
+      if (!term.ok()) return term.status();
+      parts[i] = *term;
+    }
+    if (lexer_.Peek().kind != Tok::kDot) {
+      return Error("expected '.' after a triple pattern");
+    }
+    lexer_.Take();
+    Triple t(parts[0], parts[1], parts[2]);
+    if (!t.IsWellFormedPattern()) {
+      return Error("blank node in predicate position");
+    }
+    return t;
+  }
+
+  // cond := or ; or := and ('||' and)* ; and := atom ('&&' atom)*
+  Result<FilterExpr> ParseOr() {
+    Result<FilterExpr> left = ParseAnd();
+    if (!left.ok()) return left;
+    FilterExpr expr = *std::move(left);
+    while (lexer_.Peek().kind == Tok::kOrOr) {
+      lexer_.Take();
+      Result<FilterExpr> right = ParseAnd();
+      if (!right.ok()) return right;
+      expr = FilterExpr::Or(std::move(expr), *std::move(right));
+    }
+    return expr;
+  }
+
+  Result<FilterExpr> ParseAnd() {
+    Result<FilterExpr> left = ParseAtom();
+    if (!left.ok()) return left;
+    FilterExpr expr = *std::move(left);
+    while (lexer_.Peek().kind == Tok::kAndAnd) {
+      lexer_.Take();
+      Result<FilterExpr> right = ParseAtom();
+      if (!right.ok()) return right;
+      expr = FilterExpr::And(std::move(expr), *std::move(right));
+    }
+    return expr;
+  }
+
+  Result<FilterExpr> ParseAtom() {
+    const Token& token = lexer_.Peek();
+    if (token.kind == Tok::kBang) {
+      lexer_.Take();
+      Result<FilterExpr> inner = ParseAtom();
+      if (!inner.ok()) return inner;
+      return FilterExpr::Not(*std::move(inner));
+    }
+    if (token.kind == Tok::kLParen) {
+      lexer_.Take();
+      Result<FilterExpr> inner = ParseOr();
+      if (!inner.ok()) return inner;
+      if (lexer_.Peek().kind != Tok::kRParen) {
+        return Error("expected ')'");
+      }
+      lexer_.Take();
+      return inner;
+    }
+    if (token.kind == Tok::kWord && token.text == "bound") {
+      lexer_.Take();
+      if (lexer_.Peek().kind != Tok::kLParen) {
+        return Error("bound needs '(?var)'");
+      }
+      lexer_.Take();
+      if (lexer_.Peek().kind != Tok::kVar) {
+        return Error("bound needs a variable");
+      }
+      Result<Term> var = ParseTerm(lexer_.Take().text, dict_, true);
+      if (!var.ok()) return var.status();
+      if (lexer_.Peek().kind != Tok::kRParen) {
+        return Error("expected ')' after bound variable");
+      }
+      lexer_.Take();
+      return FilterExpr::Bound(*var);
+    }
+    // term (= | !=) term
+    if (token.kind != Tok::kWord && token.kind != Tok::kVar) {
+      return Error("expected a filter atom");
+    }
+    Result<Term> lhs = ParseTerm(lexer_.Take().text, dict_, true);
+    if (!lhs.ok()) return lhs.status();
+    Tok op = lexer_.Peek().kind;
+    if (op != Tok::kEq && op != Tok::kNeq) {
+      return Error("expected '=' or '!=' in a comparison");
+    }
+    lexer_.Take();
+    const Token& rhs_token = lexer_.Peek();
+    if (rhs_token.kind != Tok::kWord && rhs_token.kind != Tok::kVar) {
+      return Error("expected a term after the comparison operator");
+    }
+    Result<Term> rhs = ParseTerm(lexer_.Take().text, dict_, true);
+    if (!rhs.ok()) return rhs.status();
+    FilterExpr eq = FilterExpr::Equals(*lhs, *rhs);
+    return op == Tok::kEq ? eq : FilterExpr::Not(std::move(eq));
+  }
+
+  Lexer lexer_;
+  Dictionary* dict_;
+};
+
+}  // namespace
+
+Result<SparqlQuery> ParseSparql(std::string_view text, Dictionary* dict) {
+  Parser parser(text, dict);
+  Result<SparqlQuery> query = parser.Parse();
+  if (!query.ok()) return query;
+  if (query->select.empty()) {
+    query->select = query->pattern.Variables();
+  }
+  return query;
+}
+
+}  // namespace swdb

@@ -1,0 +1,44 @@
+#ifndef SWDB_SPARQL_SPARQL_PARSER_H_
+#define SWDB_SPARQL_SPARQL_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "rdf/term.h"
+#include "sparql/pattern.h"
+#include "util/status.h"
+
+namespace swdb {
+
+/// A parsed SELECT query: projection variables plus a pattern.
+struct SparqlQuery {
+  std::vector<Term> select;  ///< empty = SELECT * (all pattern variables)
+  SparqlPattern pattern = SparqlPattern::Bgp(Graph());
+};
+
+/// Parses a small SPARQL-like concrete syntax onto the [34] algebra:
+///
+///   SELECT ?X ?N WHERE {
+///     ?X name ?N .
+///     OPTIONAL { ?X email ?E . }
+///     { ?X web ?W . } UNION { ?X phone ?P . }
+///     FILTER ( bound(?E) && ?N != george )
+///   }
+///
+/// Grammar (ASCII, case-sensitive keywords):
+///   query   := 'SELECT' ( '*' | var+ ) 'WHERE' group
+///   group   := '{' element* '}'
+///   element := triple '.'                     -- extends the running BGP
+///            | 'OPTIONAL' group               -- OPT(sofar, group)
+///            | group ('UNION' group)*         -- AND(sofar, union-chain)
+///            | 'FILTER' '(' cond ')'          -- applied to the whole group
+///   cond    := or ; or := and ('||' and)* ; and := atom ('&&' atom)*
+///   atom    := '!' atom | '(' cond ')' | 'bound' '(' var ')'
+///            | term ('=' | '!=') term
+///
+/// Terms use the graph parser's syntax (?var, IRIs, keywords).
+Result<SparqlQuery> ParseSparql(std::string_view text, Dictionary* dict);
+
+}  // namespace swdb
+
+#endif  // SWDB_SPARQL_SPARQL_PARSER_H_

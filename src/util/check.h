@@ -1,0 +1,34 @@
+#ifndef SWDB_UTIL_CHECK_H_
+#define SWDB_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace swdb {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* expression,
+                                     const char* file, int line,
+                                     const char* message) {
+  std::fprintf(stderr, "SWDB_CHECK failed at %s:%d: %s\n  %s\n", file, line,
+               expression, message);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace swdb
+
+/// Aborts (in every build mode) when the condition is false. Used where
+/// a violated invariant must not silently degrade into a wrong answer —
+/// e.g. a search-budget exhaustion inside a boolean decision procedure.
+/// Callers that want graceful degradation use the *Checked / Result
+/// variants of the same APIs instead.
+#define SWDB_CHECK(condition, message)                                  \
+  do {                                                                  \
+    if (!(condition)) {                                                 \
+      ::swdb::internal::CheckFailed(#condition, __FILE__, __LINE__,     \
+                                    (message));                         \
+    }                                                                   \
+  } while (false)
+
+#endif  // SWDB_UTIL_CHECK_H_

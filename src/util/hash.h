@@ -1,0 +1,26 @@
+#ifndef SWDB_UTIL_HASH_H_
+#define SWDB_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace swdb {
+
+/// Mixes a new value into a running hash (boost::hash_combine style,
+/// 64-bit constants).
+inline void HashCombine(size_t* seed, size_t value) {
+  *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 12) + (*seed >> 4);
+}
+
+/// Hashes a pair of hashable values.
+template <typename A, typename B>
+size_t HashPair(const A& a, const B& b) {
+  size_t seed = std::hash<A>()(a);
+  HashCombine(&seed, std::hash<B>()(b));
+  return seed;
+}
+
+}  // namespace swdb
+
+#endif  // SWDB_UTIL_HASH_H_

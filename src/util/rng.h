@@ -1,0 +1,67 @@
+#ifndef SWDB_UTIL_RNG_H_
+#define SWDB_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace swdb {
+
+/// Deterministic 64-bit PRNG (splitmix64 seeded xorshift128+).
+///
+/// All randomized components in the library (workload generators,
+/// property-test drivers) take an explicit Rng so that runs are exactly
+/// reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 expansion of the seed into the two lanes.
+    uint64_t z = seed;
+    for (uint64_t* lane : {&s0_, &s1_}) {
+      z += 0x9e3779b97f4a7c15ULL;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      *lane = x ^ (x >> 31);
+    }
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;  // xorshift state must be nonzero
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform value in [lo, hi] (inclusive). Requires lo <= hi.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool Chance(double p) {
+    if (p <= 0) return false;
+    if (p >= 1) return true;
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Below(i)]);
+    }
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace swdb
+
+#endif  // SWDB_UTIL_RNG_H_

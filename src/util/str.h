@@ -1,0 +1,25 @@
+#ifndef SWDB_UTIL_STR_H_
+#define SWDB_UTIL_STR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace swdb {
+
+/// Builds "<prefix><n>" (optionally with a suffix). Exists instead of
+/// `"prefix" + std::to_string(n)` because that expression trips a known
+/// GCC 12 -Wrestrict false positive (PR105651) inside libstdc++'s
+/// rvalue operator+; append-based construction keeps builds
+/// warnings-clean.
+inline std::string NumberedName(std::string_view prefix, uint64_t n,
+                                std::string_view suffix = {}) {
+  std::string out(prefix);
+  out += std::to_string(n);
+  out += suffix;
+  return out;
+}
+
+}  // namespace swdb
+
+#endif  // SWDB_UTIL_STR_H_

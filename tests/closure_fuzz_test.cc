@@ -1,0 +1,96 @@
+// Randomized cross-checks of the worklist closure engine against the
+// naive rule-enumeration reference on *pathological* graphs: reserved
+// vocabulary appearing in subject/object positions, sp edges into the
+// vocabulary, blank properties — every interaction Note 2.4 and
+// Example 3.15 warn about.
+
+#include <gtest/gtest.h>
+
+#include "inference/closure.h"
+#include "model/interpretation.h"
+#include "model/canonical.h"
+#include "rdf/graph.h"
+#include "util/rng.h"
+
+namespace swdb {
+namespace {
+
+// A random graph over a tiny universe that *includes* the five reserved
+// terms as first-class citizens in every position (predicate positions
+// keep IRIs only, per well-formedness).
+Graph PathologicalGraph(Dictionary* dict, Rng* rng, uint32_t triples) {
+  std::vector<Term> names = {
+      vocab::kSp,          vocab::kSc,          vocab::kType,
+      vocab::kDom,         vocab::kRange,       dict->Iri("fz:a"),
+      dict->Iri("fz:b"),   dict->Iri("fz:p"),   dict->Iri("fz:q"),
+      dict->Blank("fzX"),  dict->Blank("fzY"),
+  };
+  Graph g;
+  for (uint32_t i = 0; i < triples; ++i) {
+    Term s = names[rng->Below(names.size())];
+    Term p = names[rng->Below(names.size())];
+    Term o = names[rng->Below(names.size())];
+    Triple t(s, p, o);
+    if (t.IsWellFormedData()) g.Insert(t);
+  }
+  return g;
+}
+
+class ClosureFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosureFuzz,
+                         ::testing::Range<uint64_t>(1, 41));
+
+TEST_P(ClosureFuzz, WorklistMatchesNaiveOnPathologicalGraphs) {
+  Dictionary dict;
+  Rng rng(GetParam());
+  Graph g = PathologicalGraph(&dict, &rng, 4 + rng.Below(6));
+  Graph fast = RdfsClosure(g);
+  Graph naive = RdfsClosureNaive(g);
+  EXPECT_EQ(fast, naive) << "seed " << GetParam();
+}
+
+TEST_P(ClosureFuzz, MembershipFallbackMatchesOnPathologicalGraphs) {
+  Dictionary dict;
+  Rng rng(GetParam() + 1000);
+  Graph g = PathologicalGraph(&dict, &rng, 4 + rng.Below(6));
+  ClosureMembership membership(g);
+  Graph cl = RdfsClosure(g);
+  for (const Triple& t : cl) {
+    EXPECT_TRUE(membership.Contains(t)) << "seed " << GetParam();
+  }
+  // Sample some non-members.
+  std::vector<Term> universe = g.Universe();
+  if (universe.empty()) return;
+  for (int i = 0; i < 30; ++i) {
+    Term s = universe[rng.Below(universe.size())];
+    Term p = universe[rng.Below(universe.size())];
+    Term o = universe[rng.Below(universe.size())];
+    if (!p.IsIri()) continue;
+    Triple t(s, p, o);
+    EXPECT_EQ(membership.Contains(t), cl.Contains(t))
+        << "seed " << GetParam();
+  }
+}
+
+TEST_P(ClosureFuzz, CanonicalModelIsAModelEvenForPathologicalGraphs) {
+  Dictionary dict;
+  Rng rng(GetParam() + 2000);
+  Graph g = PathologicalGraph(&dict, &rng, 3 + rng.Below(5));
+  Interpretation canonical = CanonicalModel(g, &dict);
+  EXPECT_TRUE(canonical.CheckRdfsConditions().ok())
+      << "seed " << GetParam() << ": "
+      << canonical.CheckRdfsConditions().ToString();
+  EXPECT_TRUE(SatisfiesSimple(canonical, g)) << "seed " << GetParam();
+}
+
+TEST_P(ClosureFuzz, SemanticClosureMatchesOnPathologicalGraphs) {
+  Dictionary dict;
+  Rng rng(GetParam() + 3000);
+  Graph g = PathologicalGraph(&dict, &rng, 3 + rng.Below(5));
+  EXPECT_EQ(SemanticClosure(g, &dict), RdfsClosure(g))
+      << "seed " << GetParam();
+}
+
+}  // namespace
+}  // namespace swdb

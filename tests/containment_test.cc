@@ -1,0 +1,359 @@
+#include "query/containment.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "inference/closure.h"
+#include "query/answer.h"
+#include "rdf/iso.h"
+#include "testutil.h"
+#include "util/rng.h"
+#include "util/str.h"
+
+namespace swdb {
+namespace {
+
+using swdb::testing::Data;
+using swdb::testing::Q;
+
+class ContainmentTest : public ::testing::Test {
+ protected:
+  Dictionary dict_;
+};
+
+TEST_F(ContainmentTest, IdenticalQueriesContainEachOther) {
+  Query q = Q(&dict_,
+              "head: ?X p ?Y .\n"
+              "body: ?X p ?Y .\n");
+  EXPECT_TRUE(*ContainedStandard(q, q, &dict_));
+  EXPECT_TRUE(*ContainedEntailment(q, q, &dict_));
+}
+
+TEST_F(ContainmentTest, MoreRestrictiveBodyIsContained) {
+  // q asks for p-edges into c; q' asks for all p-edges. q ⊑ q'.
+  Query q = Q(&dict_,
+              "head: ?X sel c .\n"
+              "body: ?X p c .\n");
+  Query q_prime = Q(&dict_,
+                    "head: ?X sel ?Y .\n"
+                    "body: ?X p ?Y .\n");
+  EXPECT_TRUE(*ContainedStandard(q, q_prime, &dict_));
+  EXPECT_FALSE(*ContainedStandard(q_prime, q, &dict_));
+  EXPECT_TRUE(*ContainedEntailment(q, q_prime, &dict_));
+  EXPECT_FALSE(*ContainedEntailment(q_prime, q, &dict_));
+}
+
+TEST_F(ContainmentTest, Example53RdfsVocabulary) {
+  // B = {?X sc ?Y, ?Y sc ?Z}; B' = B ∪ {?X sc ?Z}; heads equal bodies.
+  // Both m-containments hold, neither p-containment does.
+  Query q = Q(&dict_,
+              "head: ?X sc ?Y .\nhead: ?Y sc ?Z .\n"
+              "body: ?X sc ?Y .\nbody: ?Y sc ?Z .\n");
+  Query q_prime = Q(&dict_,
+                    "head: ?X sc ?Y .\nhead: ?Y sc ?Z .\nhead: ?X sc ?Z .\n"
+                    "body: ?X sc ?Y .\nbody: ?Y sc ?Z .\nbody: ?X sc ?Z .\n");
+  EXPECT_TRUE(*ContainedEntailment(q, q_prime, &dict_));
+  EXPECT_TRUE(*ContainedEntailment(q_prime, q, &dict_));
+  EXPECT_FALSE(*ContainedStandard(q, q_prime, &dict_));
+  EXPECT_FALSE(*ContainedStandard(q_prime, q, &dict_));
+}
+
+TEST_F(ContainmentTest, Example53BlankInHead) {
+  // H = (?X,q,c), H' = (?X,q,Y) with Y blank, same bodies:
+  // q' ⊑m q but q' ⋢p q.
+  Query q;
+  q.head = Graph{Triple(dict_.Var("X"), dict_.Iri("q"), dict_.Iri("c"))};
+  q.body = Graph{Triple(dict_.Var("X"), dict_.Iri("b"), dict_.Var("W"))};
+  Query q_prime;
+  q_prime.head =
+      Graph{Triple(dict_.Var("X"), dict_.Iri("q"), dict_.Blank("Y"))};
+  q_prime.body = q.body;
+  EXPECT_TRUE(*ContainedEntailment(q_prime, q, &dict_));
+  EXPECT_FALSE(*ContainedStandard(q_prime, q, &dict_));
+}
+
+TEST_F(ContainmentTest, Example53ProjectedHead) {
+  // H = {(?X,q,?Y),(?Z,p,?Y)}, H' = {(?Z,p,?Y)}, same bodies:
+  // q' ⊑m q but q' ⋢p q.
+  Query q = Q(&dict_,
+              "head: ?X q ?Y .\nhead: ?Z p ?Y .\n"
+              "body: ?X q ?Y .\nbody: ?Z p ?Y .\n");
+  Query q_prime = Q(&dict_,
+                    "head: ?Z p ?Y .\n"
+                    "body: ?X q ?Y .\nbody: ?Z p ?Y .\n");
+  EXPECT_TRUE(*ContainedEntailment(q_prime, q, &dict_));
+  EXPECT_FALSE(*ContainedStandard(q_prime, q, &dict_));
+}
+
+TEST_F(ContainmentTest, StandardImpliesEntailment) {
+  // Prop 5.2 as a property test: q' is built as a generalization of q
+  // (extra constants turned into fresh variables), so ⊑p holds by
+  // construction on many rounds, and whenever it does, ⊑m must too.
+  Rng rng(101);
+  int positive = 0;
+  for (int round = 0; round < 25; ++round) {
+    Dictionary dict;
+    RandomGraphSpec spec;
+    spec.num_nodes = 5;
+    spec.num_triples = 6;
+    spec.num_predicates = 2;
+    spec.blank_ratio = 0;
+    Graph data = RandomSimpleGraph(spec, &dict, &rng);
+    Query q = PatternQueryFromGraph(data, 2, 0.3, &dict, &rng);
+    if (!q.Validate().ok()) continue;
+
+    // Generalize: consistently replace some non-predicate constants of
+    // q with fresh variables.
+    std::unordered_map<Term, Term> gen;
+    auto generalize = [&](Term t, bool is_predicate) -> Term {
+      if (!t.IsIri() || is_predicate) return t;
+      auto it = gen.find(t);
+      if (it != gen.end()) return it->second;
+      if (!rng.Chance(0.5)) return t;
+      Term v = dict.Var(NumberedName("g", round) + "_" +
+                        std::to_string(gen.size()));
+      gen.emplace(t, v);
+      return v;
+    };
+    Query q_prime;
+    for (const Triple& t : q.body) {
+      q_prime.body.Insert(generalize(t.s, false), generalize(t.p, true),
+                          generalize(t.o, false));
+    }
+    for (const Triple& t : q.head) {
+      q_prime.head.Insert(generalize(t.s, false), generalize(t.p, true),
+                          generalize(t.o, false));
+    }
+    if (!q_prime.Validate().ok()) continue;
+    Result<bool> p = ContainedStandard(q, q_prime, &dict);
+    Result<bool> m = ContainedEntailment(q, q_prime, &dict);
+    ASSERT_TRUE(p.ok() && m.ok());
+    if (*p) {
+      EXPECT_TRUE(*m) << "round " << round;
+      ++positive;
+    }
+  }
+  EXPECT_GT(positive, 0);
+}
+
+TEST_F(ContainmentTest, RdfsSemanticsInBody) {
+  // q's body is subsumed via sc-transitivity: nf(B) contains the
+  // transitive edge the body of q' needs.
+  Query q = Q(&dict_,
+              "head: ?X sel ?Z .\n"
+              "body: ?X sc ?Y .\nbody: ?Y sc ?Z .\nbody: ?X sc ?Z .\n");
+  Query q_prime = Q(&dict_,
+                    "head: ?X sel ?Z .\n"
+                    "body: ?X sc ?Z .\n");
+  // q (three-triple body) is contained in q': every q-answer is a
+  // q'-answer, because θ(B') = (x,sc,z) ∈ nf(B) and heads line up.
+  EXPECT_TRUE(*ContainedStandard(q, q_prime, &dict_));
+  Query q2 = Q(&dict_,
+               "head: ?X sel ?Z .\n"
+               "body: ?X sc ?Y .\nbody: ?Y sc ?Z .\n");
+  EXPECT_TRUE(*ContainedStandard(q2, q_prime, &dict_));  // via transitivity
+  // The reverse ALSO holds for sc — rule (13) reflexivity lets the
+  // two-step chain bend through (x,sc,x): θ = (X↦x, Y↦x, Z↦z).
+  EXPECT_TRUE(*ContainedStandard(q_prime, q2, &dict_));
+  // With an uninterpreted predicate there is no reflexivity, and the
+  // one-step query is NOT contained in the two-step one.
+  Query e1 = Q(&dict_,
+               "head: ?X sel ?Z .\n"
+               "body: ?X e ?Z .\n");
+  Query e2 = Q(&dict_,
+               "head: ?X sel ?Z .\n"
+               "body: ?X e ?Y .\nbody: ?Y e ?Z .\n");
+  EXPECT_FALSE(*ContainedStandard(e1, e2, &dict_));
+  EXPECT_FALSE(*ContainedStandard(e2, e1, &dict_));
+}
+
+TEST_F(ContainmentTest, ConstraintsMustBeCarried) {
+  // Thm 5.7(c): a constrained q'-variable must map to a constrained
+  // q-variable.
+  Query q = Q(&dict_,
+              "head: ?X sel ?Y .\n"
+              "body: ?X p ?Y .\n");
+  Query q_constrained = Q(&dict_,
+                          "head: ?X sel ?Y .\n"
+                          "body: ?X p ?Y .\n"
+                          "bind: ?Y\n");
+  // Unconstrained q is NOT contained in constrained q' (q returns
+  // blank-valued answers q' filters out).
+  EXPECT_FALSE(*ContainedStandard(q, q_constrained, &dict_));
+  // Constrained q IS contained in unconstrained q'.
+  EXPECT_TRUE(*ContainedStandard(q_constrained, q, &dict_));
+  // And in itself.
+  EXPECT_TRUE(*ContainedStandard(q_constrained, q_constrained, &dict_));
+}
+
+TEST_F(ContainmentTest, PremiseOnRightSuppliesFacts) {
+  // q: fixed fact head with empty body; q': body satisfied only via its
+  // premise.
+  Query q;
+  q.head = Data(&dict_, "a ans b .");
+  Query q_prime;
+  q_prime.head = Data(&dict_, "a ans b .");
+  q_prime.body = Graph{Triple(dict_.Var("X"), dict_.Iri("t"),
+                              dict_.Iri("s"))};
+  EXPECT_FALSE(*ContainedStandardSimple(q, q_prime, &dict_));
+  q_prime.premise = Data(&dict_, "w t s .");
+  EXPECT_TRUE(*ContainedStandardSimple(q, q_prime, &dict_));
+  EXPECT_TRUE(*ContainedEntailmentSimple(q, q_prime, &dict_));
+}
+
+TEST_F(ContainmentTest, PremiseOnLeftIsEliminated) {
+  // q has a premise; its Ωq members must all be contained in q'.
+  Query q = Q(&dict_,
+              "head: ?X p ?Y .\n"
+              "body: ?X q ?Y .\nbody: ?Y t s .\n"
+              "premise: a t s .\n");
+  Query q_prime = Q(&dict_,
+                    "head: ?X p ?Y .\n"
+                    "body: ?X q ?Y .\n");
+  EXPECT_TRUE(*ContainedStandardSimple(q, q_prime, &dict_));
+  // Reverse direction fails: q' answers edges whose target lacks (·,t,s).
+  EXPECT_FALSE(*ContainedStandardSimple(q_prime, q, &dict_));
+}
+
+TEST_F(ContainmentTest, PremiseBlankMatchesLikeConstant) {
+  // A premise blank can absorb a body variable of q' (Thm 5.8's θ ranges
+  // over UB).
+  Query q;
+  q.head = Data(&dict_, "a ans b .");
+  Query q_prime;
+  q_prime.head = Data(&dict_, "a ans b .");
+  q_prime.body = Graph{Triple(dict_.Var("X"), dict_.Iri("t"),
+                              dict_.Iri("s"))};
+  q_prime.premise = Data(&dict_, "_:B t s .");
+  EXPECT_TRUE(*ContainedStandardSimple(q, q_prime, &dict_));
+}
+
+TEST_F(ContainmentTest, PremiseFreeSimpleAgreesWithGeneralOnSimpleQueries) {
+  // For premise-free fully simple queries the §5.4 decision procedure
+  // and the nf-based one coincide.
+  Rng rng(7);
+  for (int round = 0; round < 25; ++round) {
+    Dictionary dict;
+    RandomGraphSpec spec;
+    spec.num_nodes = 5;
+    spec.num_triples = 5;
+    spec.num_predicates = 2;
+    spec.blank_ratio = 0;
+    Graph data = RandomSimpleGraph(spec, &dict, &rng);
+    Query q = PatternQueryFromGraph(data, 2, 0.5, &dict, &rng);
+    Query q_prime = PatternQueryFromGraph(data, 2, 0.5, &dict, &rng);
+    if (!q.Validate().ok() || !q_prime.Validate().ok()) continue;
+    // Variable predicates can match closure tautologies like (p,sp,p)
+    // in the nf-based variant but not in the §5.4 simple variant; the
+    // agreement claim is for fully simple patterns only.
+    auto has_var_predicate = [](const Query& query) {
+      for (const Triple& t : query.body) {
+        if (t.p.IsVar()) return true;
+      }
+      for (const Triple& t : query.head) {
+        if (t.p.IsVar()) return true;
+      }
+      return false;
+    };
+    if (has_var_predicate(q) || has_var_predicate(q_prime)) continue;
+    Result<bool> general = ContainedStandard(q, q_prime, &dict);
+    Result<bool> simple = ContainedStandardSimple(q, q_prime, &dict);
+    ASSERT_TRUE(general.ok() && simple.ok());
+    EXPECT_EQ(*general, *simple) << "round " << round;
+  }
+}
+
+TEST_F(ContainmentTest, PositiveContainmentIsSoundOnSampledDatabases) {
+  // Whenever the characterization says q ⊑p q', every pre-answer of q
+  // must have an isomorphic counterpart among q''s pre-answers, on any
+  // database — sample a few.
+  Rng rng(131);
+  int verified = 0;
+  for (int round = 0; round < 30 && verified < 6; ++round) {
+    Dictionary dict;
+    RandomGraphSpec spec;
+    spec.num_nodes = 5;
+    spec.num_triples = 7;
+    spec.num_predicates = 2;
+    spec.blank_ratio = 0;
+    Graph data = RandomSimpleGraph(spec, &dict, &rng);
+    Query q = PatternQueryFromGraph(data, 1, 0.3, &dict, &rng);
+    Query q_prime = PatternQueryFromGraph(data, 1, 0.8, &dict, &rng);
+    if (!q.Validate().ok() || !q_prime.Validate().ok()) continue;
+    Result<bool> contained = ContainedStandard(q, q_prime, &dict);
+    if (!contained.ok() || !*contained) continue;
+    ++verified;
+    QueryEvaluator eval(&dict);
+    Result<std::vector<Graph>> pre_q = eval.PreAnswer(q, data);
+    Result<std::vector<Graph>> pre_qp = eval.PreAnswer(q_prime, data);
+    ASSERT_TRUE(pre_q.ok() && pre_qp.ok());
+    for (const Graph& answer : *pre_q) {
+      bool matched = false;
+      for (const Graph& candidate : *pre_qp) {
+        if (AreIsomorphic(answer, candidate)) {
+          matched = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(matched) << "round " << round;
+    }
+  }
+  EXPECT_GT(verified, 0);
+}
+
+TEST_F(ContainmentTest, RejectsPremisesInGeneralVariant) {
+  Query q = Q(&dict_,
+              "head: ?X p ?Y .\n"
+              "body: ?X p ?Y .\n"
+              "premise: a t b .\n");
+  Result<bool> r = ContainedStandard(q, q, &dict_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ContainmentTest, NegativeContainmentHasCounterexampleDatabase) {
+  // The "only if" direction of Thm 5.5(1): when the characterization
+  // says q is NOT contained in q', the canonical database D = frozen(B)
+  // witnesses it — some pre-answer of q has no isomorphic counterpart
+  // among q''s pre-answers.
+  Rng rng(211);
+  int verified = 0;
+  for (int round = 0; round < 60 && verified < 8; ++round) {
+    Dictionary dict;
+    RandomGraphSpec spec;
+    spec.num_nodes = 5;
+    spec.num_triples = 7;
+    spec.num_predicates = 2;
+    spec.blank_ratio = 0;
+    Graph data = RandomSimpleGraph(spec, &dict, &rng);
+    Query q = PatternQueryFromGraph(data, 2, 0.4, &dict, &rng);
+    Query q_prime = PatternQueryFromGraph(data, 2, 0.4, &dict, &rng);
+    if (!q.Validate().ok() || !q_prime.Validate().ok()) continue;
+    Result<bool> contained = ContainedStandard(q, q_prime, &dict);
+    if (!contained.ok() || *contained) continue;
+    // Build the canonical counterexample database.
+    TermMap freeze;
+    Graph frozen_b = FreezeVariablesWith(q.body, &dict, &freeze);
+    QueryEvaluator eval(&dict);
+    Result<std::vector<Graph>> pre_q = eval.PreAnswer(q, frozen_b);
+    Result<std::vector<Graph>> pre_qp = eval.PreAnswer(q_prime, frozen_b);
+    ASSERT_TRUE(pre_q.ok() && pre_qp.ok());
+    bool all_matched = true;
+    for (const Graph& answer : *pre_q) {
+      bool matched = false;
+      for (const Graph& candidate : *pre_qp) {
+        if (AreIsomorphic(answer, candidate)) {
+          matched = true;
+          break;
+        }
+      }
+      all_matched = all_matched && matched;
+    }
+    EXPECT_FALSE(all_matched) << "round " << round;
+    ++verified;
+  }
+  EXPECT_GT(verified, 0);
+}
+
+}  // namespace
+}  // namespace swdb

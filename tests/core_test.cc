@@ -1,0 +1,166 @@
+#include "normal/core.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "rdf/iso.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace swdb {
+namespace {
+
+using swdb::testing::Data;
+
+TEST(Lean, GroundGraphsAreLean) {
+  Dictionary dict;
+  Graph g = Data(&dict, "a p b .\nb p c .\na q c .");
+  EXPECT_TRUE(IsLean(g));
+}
+
+TEST(Lean, Example38NotLean) {
+  // Example 3.8, G1: a -p-> X, a -p-> Y is not lean.
+  Dictionary dict;
+  Graph g1 = Data(&dict, "a p _:X .\na p _:Y .");
+  EXPECT_FALSE(IsLean(g1));
+}
+
+TEST(Lean, Example38Lean) {
+  // Example 3.8, G2: a -p-> X, a -p-> Y -q-> ..., Y -r-> b is lean.
+  Dictionary dict;
+  Graph g2 = Data(&dict,
+                  "a p _:X .\n"
+                  "_:X q _:Y .\n"
+                  "_:Y r b .");
+  EXPECT_TRUE(IsLean(g2));
+}
+
+TEST(Lean, RedundantSpecializationIsNotLean) {
+  Dictionary dict;
+  Graph g = Data(&dict, "a p b .\na p _:X .");
+  EXPECT_FALSE(IsLean(g));  // X → b
+}
+
+TEST(Lean, BlankChainFoldsOntoLoop) {
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "a p a .\n"
+                 "_:X p _:Y .\n"
+                 "_:Y p _:Z .");
+  EXPECT_FALSE(IsLean(g));
+}
+
+TEST(Lean, ProperEndomorphismWitness) {
+  Dictionary dict;
+  Graph g = Data(&dict, "a p _:X .\na p _:Y .");
+  Result<std::optional<TermMap>> mu = FindProperEndomorphism(g);
+  ASSERT_TRUE(mu.ok());
+  ASSERT_TRUE(mu->has_value());
+  Graph image = (*mu)->Apply(g);
+  EXPECT_TRUE(image.IsSubgraphOf(g));
+  EXPECT_LT(image.size(), g.size());
+}
+
+TEST(Core, CollapsesRedundantBlanks) {
+  Dictionary dict;
+  Graph g = Data(&dict, "a p _:X .\na p _:Y .\na p b .");
+  Graph core = Core(g);
+  EXPECT_EQ(core, Data(&dict, "a p b ."));
+}
+
+TEST(Core, LeanGraphIsItsOwnCore) {
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "a p _:X .\n"
+                 "_:X q _:Y .\n"
+                 "_:Y r b .");
+  EXPECT_EQ(Core(g), g);
+}
+
+TEST(Core, WitnessMapsGraphOntoCore) {
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "a p _:X .\n"
+                 "a p _:Y .\n"
+                 "_:Y q b .\n"
+                 "_:Z q b .");
+  TermMap witness;
+  Graph core = Core(g, &witness);
+  EXPECT_EQ(witness.Apply(g), core);
+  EXPECT_TRUE(core.IsSubgraphOf(g));
+  EXPECT_TRUE(IsLean(core));
+}
+
+TEST(Core, CoreIsEquivalentToGraph) {
+  Dictionary dict;
+  Rng rng(3);
+  RandomGraphSpec spec;
+  spec.num_nodes = 8;
+  spec.num_triples = 12;
+  spec.blank_ratio = 0.5;
+  for (int round = 0; round < 10; ++round) {
+    Graph g = RandomSimpleGraph(spec, &dict, &rng);
+    Graph core = Core(g);
+    EXPECT_TRUE(SimpleEquivalent(g, core)) << "round " << round;
+    EXPECT_TRUE(IsLean(core)) << "round " << round;
+  }
+}
+
+TEST(Core, UniqueUpToIsomorphismAcrossPresentations) {
+  // Thm 3.10: computing the core of two isomorphic copies (with blanks
+  // renamed) gives isomorphic results.
+  Dictionary dict;
+  Rng rng(11);
+  RandomGraphSpec spec;
+  spec.num_nodes = 7;
+  spec.num_triples = 10;
+  spec.blank_ratio = 0.6;
+  for (int round = 0; round < 10; ++round) {
+    Graph g = RandomSimpleGraph(spec, &dict, &rng);
+    Graph copy = FreshBlankCopy(g, &dict);
+    EXPECT_TRUE(AreIsomorphic(Core(g), Core(copy))) << "round " << round;
+  }
+}
+
+TEST(Core, Theorem311MinimalityForSimpleGraphs) {
+  // core(G) is the unique minimal graph equivalent to G: no equivalent
+  // subgraph can be smaller.
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "a p _:X .\n"
+                 "_:X p a .\n"
+                 "a p _:Y .\n"
+                 "_:Y p a .\n"
+                 "a p a .");
+  Graph core = Core(g);
+  EXPECT_EQ(core, Data(&dict, "a p a ."));
+}
+
+TEST(Core, Theorem311EquivalenceIffIsomorphicCores) {
+  Dictionary dict;
+  Graph g1 = Data(&dict, "a p _:X .\na p _:Y .");
+  Graph g2 = Data(&dict, "a p _:Z .");
+  Graph g3 = Data(&dict, "a p b .");
+  EXPECT_TRUE(AreIsomorphic(Core(g1), Core(g2)));
+  EXPECT_FALSE(AreIsomorphic(Core(g1), Core(g3)));
+  EXPECT_TRUE(SimpleEquivalent(g1, g2));
+  EXPECT_FALSE(SimpleEquivalent(g1, g3));
+}
+
+TEST(Core, BudgetAwareVariantReportsExhaustion) {
+  Dictionary dict;
+  Rng rng(5);
+  RandomGraphSpec spec;
+  spec.num_nodes = 12;
+  spec.num_triples = 30;
+  spec.blank_ratio = 1.0;
+  Graph g = RandomSimpleGraph(spec, &dict, &rng);
+  MatchOptions options;
+  options.max_steps = 1;
+  Result<Graph> r = CoreChecked(g, options);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kLimitExceeded);
+}
+
+}  // namespace
+}  // namespace swdb

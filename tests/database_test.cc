@@ -1,0 +1,121 @@
+#include "query/database.h"
+
+#include <gtest/gtest.h>
+
+#include "inference/closure.h"
+#include "normal/normal_form.h"
+#include "testutil.h"
+
+namespace swdb {
+namespace {
+
+using swdb::testing::Data;
+using swdb::testing::Q;
+
+TEST(Database, InsertAndQueryText) {
+  Dictionary dict;
+  Database db(&dict);
+  ASSERT_TRUE(db.InsertText("cat sc mammal .\n"
+                            "mammal sc animal .\n"
+                            "tom type cat .\n")
+                  .ok());
+  EXPECT_EQ(db.size(), 3u);
+  Result<Graph> ans = db.ExecuteQuery(
+      "head: ?X isAn animal .\n"
+      "body: ?X type animal .\n");
+  ASSERT_TRUE(ans.ok());
+  EXPECT_TRUE(ans->Contains(
+      Triple(dict.Iri("tom"), dict.Iri("isAn"), dict.Iri("animal"))));
+}
+
+TEST(Database, EntailsDelegatesToRdfs) {
+  Dictionary dict;
+  Database db(&dict);
+  ASSERT_TRUE(db.InsertText("p dom c .\nx p y .").ok());
+  EXPECT_TRUE(db.Entails(Data(&dict, "x type c .")));
+  EXPECT_FALSE(db.Entails(Data(&dict, "y type c .")));
+}
+
+TEST(Database, NormalizedIsCachedUntilMutation) {
+  Dictionary dict;
+  Database db(&dict);
+  ASSERT_TRUE(db.InsertText("a sc b .").ok());
+  const Graph& first = db.Normalized();
+  const Graph& second = db.Normalized();
+  EXPECT_EQ(&first, &second);  // same cached object
+  EXPECT_EQ(first, NormalForm(db.graph()));
+  db.Insert(Triple(dict.Iri("b"), vocab::kSc, dict.Iri("c")));
+  const Graph& third = db.Normalized();
+  EXPECT_TRUE(third.Contains(
+      Triple(dict.Iri("a"), vocab::kSc, dict.Iri("c"))));
+}
+
+TEST(Database, DuplicateInsertDoesNotInvalidate) {
+  Dictionary dict;
+  Database db(&dict);
+  Triple t(dict.Iri("a"), dict.Iri("p"), dict.Iri("b"));
+  EXPECT_TRUE(db.Insert(t));
+  const Graph& cached = db.Normalized();
+  EXPECT_FALSE(db.Insert(t));
+  EXPECT_EQ(&cached, &db.Normalized());
+}
+
+TEST(Database, EraseInvalidates) {
+  Dictionary dict;
+  Database db(&dict);
+  ASSERT_TRUE(db.InsertText("a sc b .\nb sc c .").ok());
+  EXPECT_TRUE(db.Normalized().Contains(
+      Triple(dict.Iri("a"), vocab::kSc, dict.Iri("c"))));
+  EXPECT_TRUE(db.Erase(Triple(dict.Iri("b"), vocab::kSc, dict.Iri("c"))));
+  EXPECT_FALSE(db.Normalized().Contains(
+      Triple(dict.Iri("a"), vocab::kSc, dict.Iri("c"))));
+}
+
+TEST(Database, PremiseQueriesBypassTheCache) {
+  Dictionary dict;
+  Database db(&dict);
+  ASSERT_TRUE(db.InsertText("paul son Peter .").ok());
+  Query q = Q(&dict,
+              "head: ?X relative Peter .\n"
+              "body: ?X relative Peter .\n"
+              "premise: son sp relative .\n");
+  Result<std::vector<Graph>> pre = db.PreAnswer(q);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_EQ(pre->size(), 1u);
+}
+
+TEST(Database, AnswersMatchBareEvaluator) {
+  Dictionary dict;
+  Database db(&dict);
+  ASSERT_TRUE(db.InsertText("a p b .\nb p c .\na q _:B .").ok());
+  Query q = Q(&dict,
+              "head: ?X r ?Y .\n"
+              "body: ?X p ?Y .\n");
+  QueryEvaluator eval(&dict);
+  Result<Graph> expected = eval.AnswerUnion(q, db.graph());
+  Result<Graph> actual = db.AnswerUnion(q);
+  ASSERT_TRUE(expected.ok() && actual.ok());
+  EXPECT_EQ(*expected, *actual);
+  Result<Graph> merged = db.AnswerMerge(q);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->size(), expected->size());  // ground answers here
+}
+
+TEST(Database, ParseErrorsSurface) {
+  Dictionary dict;
+  Database db(&dict);
+  EXPECT_EQ(db.InsertText("a p").code(), StatusCode::kParseError);
+  EXPECT_FALSE(db.ExecuteQuery("nonsense").ok());
+}
+
+TEST(Database, ClosureOnlyMode) {
+  Dictionary dict;
+  EvalOptions options;
+  options.use_closure_only = true;
+  Database db(&dict, options);
+  ASSERT_TRUE(db.InsertText("a sc b .").ok());
+  EXPECT_EQ(db.Normalized(), RdfsClosure(db.graph()));
+}
+
+}  // namespace
+}  // namespace swdb

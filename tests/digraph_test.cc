@@ -1,0 +1,178 @@
+#include "graphtheory/digraph.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/hom.h"
+#include "rdf/iso.h"
+
+namespace swdb {
+namespace {
+
+TEST(Digraph, EdgesAreDeduplicatedAndSorted) {
+  Digraph g(3);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(2, 1));
+}
+
+TEST(Digraph, Adjacency) {
+  Digraph g(4, {{0, 1}, {0, 2}, {3, 0}});
+  EXPECT_EQ(g.OutNeighbors(0).size(), 2u);
+  EXPECT_EQ(g.InNeighbors(0).size(), 1u);
+  EXPECT_TRUE(g.OutNeighbors(1).empty());
+}
+
+TEST(Digraph, PathIsHomomorphicToEverythingWithEdges) {
+  Digraph path = Digraph::Path(5);
+  Digraph loop(1);
+  loop.AddEdge(0, 0);
+  EXPECT_TRUE(IsHomomorphic(path, loop));
+}
+
+TEST(Digraph, OddCycleNotTwoColorable) {
+  // C5 → K2 would be a 2-coloring of an odd cycle.
+  Digraph c5 = Digraph::SymmetricCycle(5);
+  Digraph k2 = Digraph::CompleteSymmetric(2);
+  Digraph k3 = Digraph::CompleteSymmetric(3);
+  EXPECT_FALSE(IsHomomorphic(c5, k2));
+  EXPECT_TRUE(IsHomomorphic(c5, k3));
+}
+
+TEST(Digraph, EvenCycleTwoColorable) {
+  Digraph c6 = Digraph::SymmetricCycle(6);
+  Digraph k2 = Digraph::CompleteSymmetric(2);
+  EXPECT_TRUE(IsHomomorphic(c6, k2));
+}
+
+TEST(Digraph, CliqueHomomorphismIsContainment) {
+  // K4 → K3 impossible; K3 → K4 trivially.
+  Digraph k3 = Digraph::CompleteSymmetric(3);
+  Digraph k4 = Digraph::CompleteSymmetric(4);
+  EXPECT_FALSE(IsHomomorphic(k4, k3));
+  EXPECT_TRUE(IsHomomorphic(k3, k4));
+}
+
+TEST(Digraph, HomomorphismWitnessIsValid) {
+  Digraph c6 = Digraph::SymmetricCycle(6);
+  Digraph k3 = Digraph::CompleteSymmetric(3);
+  auto h = FindGraphHomomorphism(c6, k3);
+  ASSERT_TRUE(h.has_value());
+  for (const auto& [u, v] : c6.edges()) {
+    EXPECT_TRUE(k3.HasEdge((*h)[u], (*h)[v]));
+  }
+}
+
+TEST(Digraph, HomomorphicEquivalence) {
+  // Even cycles are hom-equivalent to K2.
+  Digraph c4 = Digraph::SymmetricCycle(4);
+  Digraph k2 = Digraph::CompleteSymmetric(2);
+  EXPECT_TRUE(HomomorphicallyEquivalent(c4, k2));
+  Digraph k3 = Digraph::CompleteSymmetric(3);
+  EXPECT_FALSE(HomomorphicallyEquivalent(c4, k3));
+}
+
+TEST(Digraph, GraphCoreOfEvenCycleIsK2) {
+  Digraph c6 = Digraph::SymmetricCycle(6);
+  std::vector<uint32_t> kept;
+  Digraph core = GraphCore(c6, &kept);
+  EXPECT_EQ(core.node_count(), 2u);
+  EXPECT_EQ(core.edge_count(), 2u);
+  EXPECT_EQ(kept.size(), 2u);
+}
+
+TEST(Digraph, GraphCoreOfCliqueIsItself) {
+  Digraph k3 = Digraph::CompleteSymmetric(3);
+  Digraph core = GraphCore(k3);
+  EXPECT_EQ(core.node_count(), 3u);
+  EXPECT_EQ(core.edge_count(), 6u);
+}
+
+TEST(Digraph, CycleDetection) {
+  EXPECT_FALSE(HasCycle(Digraph::Path(4)));
+  EXPECT_TRUE(HasCycle(Digraph::SymmetricCycle(3)));
+  Digraph self_loop(1);
+  self_loop.AddEdge(0, 0);
+  EXPECT_TRUE(HasCycle(self_loop));
+}
+
+TEST(Digraph, TransitiveReductionOfChainWithShortcut) {
+  Digraph g(3, {{0, 1}, {1, 2}, {0, 2}});
+  Digraph reduced = TransitiveReduction(g);
+  EXPECT_EQ(reduced.edge_count(), 2u);
+  EXPECT_TRUE(reduced.HasEdge(0, 1));
+  EXPECT_TRUE(reduced.HasEdge(1, 2));
+  EXPECT_FALSE(reduced.HasEdge(0, 2));
+}
+
+TEST(Digraph, TransitiveReductionOfDiamond) {
+  Digraph g(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {0, 3}});
+  Digraph reduced = TransitiveReduction(g);
+  EXPECT_EQ(reduced.edge_count(), 4u);
+  EXPECT_FALSE(reduced.HasEdge(0, 3));
+}
+
+TEST(Digraph, TransitiveReductionKeepsNecessaryEdges) {
+  Digraph g(4, {{0, 1}, {2, 3}});
+  Digraph reduced = TransitiveReduction(g);
+  EXPECT_EQ(reduced.edge_count(), 2u);
+}
+
+TEST(Encode, HomomorphismTransfersToRdfMaps) {
+  // §2.4: H1 homomorphic to H2 iff there is a map enc(H1) → enc(H2).
+  Dictionary dict;
+  Term e = dict.Iri("urn:e");
+  Digraph c5 = Digraph::SymmetricCycle(5);
+  Digraph c6 = Digraph::SymmetricCycle(6);
+  Digraph k2 = Digraph::CompleteSymmetric(2);
+  Digraph k3 = Digraph::CompleteSymmetric(3);
+  Graph enc_c5 = EncodeAsRdf(c5, &dict, e);
+  Graph enc_c6 = EncodeAsRdf(c6, &dict, e);
+  Graph enc_k2 = EncodeAsRdf(k2, &dict, e);
+  Graph enc_k3 = EncodeAsRdf(k3, &dict, e);
+
+  EXPECT_EQ(IsHomomorphic(c6, k2), HasHomomorphism(enc_c6, enc_k2));
+  EXPECT_EQ(IsHomomorphic(c5, k2), HasHomomorphism(enc_c5, enc_k2));
+  EXPECT_EQ(IsHomomorphic(c5, k3), HasHomomorphism(enc_c5, enc_k3));
+  EXPECT_EQ(IsHomomorphic(k3, c5), HasHomomorphism(enc_k3, enc_c5));
+}
+
+TEST(Encode, EntailmentDirectionMatchesTheorem) {
+  // H homomorphic to H' iff enc(H') ⊨ enc(H) (proof of Thm 2.9(1)).
+  Dictionary dict;
+  Term e = dict.Iri("urn:e");
+  Digraph c5 = Digraph::SymmetricCycle(5);
+  Digraph c6 = Digraph::SymmetricCycle(6);
+  Digraph k2 = Digraph::CompleteSymmetric(2);
+  Graph enc_c5 = EncodeAsRdf(c5, &dict, e);
+  Graph enc_c6 = EncodeAsRdf(c6, &dict, e);
+  Graph enc_k2 = EncodeAsRdf(k2, &dict, e);
+  EXPECT_TRUE(SimpleEntails(enc_k2, enc_c6));   // C6 → K2 exists
+  EXPECT_FALSE(SimpleEntails(enc_k2, enc_c5));  // C5 → K2 impossible (odd)
+}
+
+TEST(Encode, IsomorphicGraphsGiveIsomorphicEncodings) {
+  Dictionary dict;
+  Term e = dict.Iri("urn:e");
+  Digraph c4a = Digraph::SymmetricCycle(4);
+  Digraph c4b = Digraph::SymmetricCycle(4);
+  Graph enc_a = EncodeAsRdf(c4a, &dict, e);
+  Graph enc_b = EncodeAsRdf(c4b, &dict, e);
+  EXPECT_TRUE(AreIsomorphic(enc_a, enc_b));
+}
+
+TEST(Encode, NodeBlanksAreReported) {
+  Dictionary dict;
+  Term e = dict.Iri("urn:e");
+  Digraph path = Digraph::Path(3);
+  std::vector<Term> blanks;
+  Graph enc = EncodeAsRdf(path, &dict, e, &blanks);
+  ASSERT_EQ(blanks.size(), 3u);
+  EXPECT_TRUE(enc.Contains(Triple(blanks[0], e, blanks[1])));
+  EXPECT_TRUE(enc.Contains(Triple(blanks[1], e, blanks[2])));
+}
+
+}  // namespace
+}  // namespace swdb

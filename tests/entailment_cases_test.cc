@@ -1,0 +1,138 @@
+// Entailment regression cases in the style of the W3C RDF Semantics
+// test suite, restricted to the paper's fragment (no literals, the
+// rdfsV vocabulary only). Each case is a (premise graph, conclusion
+// graph, expected) triple checked through RdfsEntails and cross-checked
+// against the canonical-model semantics.
+
+#include <gtest/gtest.h>
+
+#include "inference/closure.h"
+#include "model/canonical.h"
+#include "testutil.h"
+
+namespace swdb {
+namespace {
+
+using swdb::testing::Data;
+
+struct EntailmentCase {
+  const char* name;
+  const char* premise;
+  const char* conclusion;
+  bool entailed;
+};
+
+const EntailmentCase kCases[] = {
+    {"subclass-lifting",
+     "a sc b .\nx type a .",
+     "x type b .", true},
+    {"subclass-is-not-symmetric",
+     "a sc b .\nx type b .",
+     "x type a .", false},
+    {"subclass-transitivity",
+     "a sc b .\nb sc c .",
+     "a sc c .", true},
+    {"subclass-reflexivity-of-mentioned-class",
+     "a sc b .",
+     "a sc a .", true},
+    {"no-reflexivity-for-unmentioned-terms",
+     "a sc b .",
+     "z sc z .", false},
+    {"subproperty-use-lifting",
+     "p sp q .\nx p y .",
+     "x q y .", true},
+    {"subproperty-not-backwards",
+     "p sp q .\nx q y .",
+     "x p y .", false},
+    {"domain-typing",
+     "p dom c .\nx p y .",
+     "x type c .", true},
+    {"domain-does-not-type-objects",
+     "p dom c .\nx p y .",
+     "y type c .", false},
+    {"range-typing",
+     "p range c .\nx p y .",
+     "y type c .", true},
+    {"domain-through-subproperty",
+     "q dom c .\np sp q .\nx p y .",
+     "x type c .", true},
+    {"range-through-subproperty-chain",
+     "r range c .\nq sp r .\np sp q .\nx p y .",
+     "y type c .", true},
+    {"blank-node-generalization",
+     "x p y .",
+     "_:B p y .", true},
+    {"blank-node-is-existential-not-universal",
+     "_:B p y .",
+     "x p y .", false},
+    {"shared-blank-requires-one-witness",
+     "x p y .\nx q z .",
+     "_:B p y .\n_:B q z .", true},
+    {"split-witnesses-do-not-join",
+     "x p y .\nw q z .",
+     "_:B p y .\n_:B q z .", false},
+    {"vocabulary-tautology",
+     "x p y .",
+     "type sp type .", true},
+    {"predicate-reflexive-sp",
+     "x p y .",
+     "p sp p .", true},
+    {"dom-subject-becomes-property",
+     "p dom c .",
+     "p sp p .", true},
+    {"dom-object-becomes-class",
+     "p dom c .",
+     "c sc c .", true},
+    {"type-object-becomes-class",
+     "x type c .",
+     "c sc c .", true},
+    {"typing-is-not-instantiation",
+     "x type c .",
+     "c type x .", false},
+    {"combined-schema-inference",
+     "painter sc artist .\npaints sp creates .\ncreates dom artist .\n"
+     "paints range painting .\npicasso paints guernica .",
+     "picasso creates guernica .\npicasso type artist .\n"
+     "guernica type painting .", true},
+    {"no-spurious-cross-typing",
+     "p dom c .\nq dom d .\nx p y .",
+     "x type d .", false},
+    {"blank-as-property-via-marin",
+     "p sp _:Q .\n_:Q dom c .\nx p y .",
+     "x type c .", true},
+    {"sc-cycle-makes-equivalent-classes",
+     "a sc b .\nb sc a .\nx type a .",
+     "x type b .", true},
+};
+
+class EntailmentCases : public ::testing::TestWithParam<EntailmentCase> {};
+
+TEST_P(EntailmentCases, DeductiveMatchesExpected) {
+  const EntailmentCase& c = GetParam();
+  Dictionary dict;
+  Graph premise = Data(&dict, c.premise);
+  Graph conclusion = Data(&dict, c.conclusion);
+  EXPECT_EQ(RdfsEntails(premise, conclusion), c.entailed) << c.name;
+}
+
+TEST_P(EntailmentCases, SemanticsAgrees) {
+  const EntailmentCase& c = GetParam();
+  Dictionary dict;
+  Graph premise = Data(&dict, c.premise);
+  Graph conclusion = Data(&dict, c.conclusion);
+  EXPECT_EQ(SemanticRdfsEntails(premise, conclusion, &dict), c.entailed)
+      << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fragment, EntailmentCases, ::testing::ValuesIn(kCases),
+    [](const ::testing::TestParamInfo<EntailmentCase>& info) {
+      std::string name = info.param.name;
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace swdb

@@ -1,0 +1,111 @@
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "cq/cq.h"
+#include "inference/closure.h"
+#include "query/answer.h"
+
+namespace swdb {
+namespace {
+
+TEST(Generators, RandomSimpleGraphIsDeterministicPerSeed) {
+  Dictionary d1;
+  Dictionary d2;
+  Rng r1(42);
+  Rng r2(42);
+  RandomGraphSpec spec;
+  Graph g1 = RandomSimpleGraph(spec, &d1, &r1);
+  Graph g2 = RandomSimpleGraph(spec, &d2, &r2);
+  EXPECT_EQ(g1, g2);
+}
+
+TEST(Generators, RandomSimpleGraphRespectsSpec) {
+  Dictionary dict;
+  Rng rng(9);
+  RandomGraphSpec spec;
+  spec.num_nodes = 10;
+  spec.num_triples = 50;
+  spec.num_predicates = 3;
+  spec.blank_ratio = 0;
+  Graph g = RandomSimpleGraph(spec, &dict, &rng);
+  EXPECT_LE(g.size(), 50u);  // duplicates collapse
+  EXPECT_GT(g.size(), 20u);
+  EXPECT_TRUE(g.IsGround());
+  EXPECT_TRUE(g.IsSimple());
+}
+
+TEST(Generators, ScChainShape) {
+  Dictionary dict;
+  Graph g = ScChain(5, &dict);
+  EXPECT_EQ(g.size(), 5u);
+  EXPECT_EQ(g.CountMatches(std::nullopt, vocab::kSc, std::nullopt), 5u);
+}
+
+TEST(Generators, SpChainWithUsesShape) {
+  Dictionary dict;
+  Graph g = SpChainWithUses(4, 3, &dict);
+  EXPECT_EQ(g.CountMatches(std::nullopt, vocab::kSp, std::nullopt), 4u);
+  EXPECT_EQ(g.size(), 7u);
+  // Closure propagates every use up the chain.
+  Graph cl = RdfsClosure(g);
+  Term top = dict.Iri("urn:sp4");
+  EXPECT_EQ(cl.CountMatches(std::nullopt, top, std::nullopt), 3u);
+}
+
+TEST(Generators, SchemaWorkloadIsAcyclicAndWellFormed) {
+  Dictionary dict;
+  Rng rng(3);
+  SchemaWorkloadSpec spec;
+  Graph g = SchemaWorkload(spec, &dict, &rng);
+  EXPECT_TRUE(g.IsWellFormedData());
+  EXPECT_GT(g.CountMatches(std::nullopt, vocab::kSc, std::nullopt), 0u);
+  EXPECT_GT(g.CountMatches(std::nullopt, vocab::kDom, std::nullopt), 0u);
+}
+
+TEST(Generators, BlankChainHasNoCycle) {
+  Dictionary dict;
+  Graph chain = BlankChain(10, dict.Iri("p"), &dict);
+  EXPECT_FALSE(HasBlankInducedCycle(chain));
+  EXPECT_EQ(chain.size(), 10u);
+  Graph cycle = BlankCycle(10, dict.Iri("p"), &dict);
+  EXPECT_TRUE(HasBlankInducedCycle(cycle));
+  EXPECT_EQ(cycle.size(), 10u);
+}
+
+TEST(Generators, PatternQueryAlwaysMatchesItsSource) {
+  Rng rng(23);
+  for (int round = 0; round < 10; ++round) {
+    Dictionary dict;
+    RandomGraphSpec spec;
+    spec.num_nodes = 8;
+    spec.num_triples = 15;
+    spec.blank_ratio = 0.2;
+    Graph data = RandomSimpleGraph(spec, &dict, &rng);
+    Query q = PatternQueryFromGraph(data, 3, 0.5, &dict, &rng);
+    ASSERT_TRUE(q.Validate().ok()) << q.Validate().ToString();
+    QueryEvaluator eval(&dict);
+    Result<std::vector<Graph>> pre = eval.PreAnswer(q, data);
+    ASSERT_TRUE(pre.ok());
+    EXPECT_FALSE(pre->empty()) << "round " << round;
+  }
+}
+
+TEST(Generators, EquivalentMutationPreservesEquivalence) {
+  Rng rng(31);
+  for (int round = 0; round < 5; ++round) {
+    Dictionary dict;
+    SchemaWorkloadSpec spec;
+    spec.num_classes = 4;
+    spec.num_properties = 3;
+    spec.num_instances = 4;
+    spec.num_facts = 6;
+    Graph g = SchemaWorkload(spec, &dict, &rng);
+    Graph mutated = EquivalentMutation(g, 5, &dict, &rng);
+    EXPECT_TRUE(RdfsEquivalent(g, mutated)) << "round " << round;
+    EXPECT_GE(mutated.size(), g.size());
+  }
+}
+
+}  // namespace
+}  // namespace swdb

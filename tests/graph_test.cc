@@ -1,0 +1,177 @@
+#include "rdf/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/text.h"
+#include "testutil.h"
+
+namespace swdb {
+namespace {
+
+using swdb::testing::Data;
+
+class GraphTest : public ::testing::Test {
+ protected:
+  Dictionary dict_;
+  Term a_ = dict_.Iri("urn:a");
+  Term b_ = dict_.Iri("urn:b");
+  Term c_ = dict_.Iri("urn:c");
+  Term p_ = dict_.Iri("urn:p");
+  Term q_ = dict_.Iri("urn:q");
+  Term x_ = dict_.Blank("X");
+  Term y_ = dict_.Blank("Y");
+};
+
+TEST_F(GraphTest, InsertDeduplicatesAndSorts) {
+  Graph g;
+  EXPECT_TRUE(g.Insert(Triple(b_, p_, c_)));
+  EXPECT_TRUE(g.Insert(Triple(a_, p_, b_)));
+  EXPECT_FALSE(g.Insert(Triple(a_, p_, b_)));
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(g.begin(), g.end()));
+}
+
+TEST_F(GraphTest, InitializerListNormalizes) {
+  Graph g{Triple(b_, p_, c_), Triple(a_, p_, b_), Triple(a_, p_, b_)};
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_TRUE(g.Contains(Triple(a_, p_, b_)));
+}
+
+TEST_F(GraphTest, EraseRemovesAndReportsPresence) {
+  Graph g{Triple(a_, p_, b_)};
+  EXPECT_TRUE(g.Erase(Triple(a_, p_, b_)));
+  EXPECT_FALSE(g.Erase(Triple(a_, p_, b_)));
+  EXPECT_TRUE(g.empty());
+}
+
+TEST_F(GraphTest, SubgraphRelation) {
+  Graph g{Triple(a_, p_, b_), Triple(b_, p_, c_)};
+  Graph sub{Triple(a_, p_, b_)};
+  EXPECT_TRUE(sub.IsSubgraphOf(g));
+  EXPECT_FALSE(g.IsSubgraphOf(sub));
+  EXPECT_TRUE(g.IsSubgraphOf(g));
+}
+
+TEST_F(GraphTest, UniverseAndVocabulary) {
+  Graph g{Triple(a_, p_, x_), Triple(x_, q_, b_)};
+  std::vector<Term> universe = g.Universe();
+  EXPECT_EQ(universe.size(), 5u);  // a, p, X, q, b
+  std::vector<Term> voc = g.Vocabulary();
+  EXPECT_EQ(voc.size(), 4u);  // a, p, q, b
+  std::vector<Term> blanks = g.BlankNodes();
+  ASSERT_EQ(blanks.size(), 1u);
+  EXPECT_EQ(blanks[0], x_);
+}
+
+TEST_F(GraphTest, GroundAndSimplePredicates) {
+  Graph ground{Triple(a_, p_, b_)};
+  EXPECT_TRUE(ground.IsGround());
+  EXPECT_TRUE(ground.IsSimple());
+
+  Graph with_blank{Triple(a_, p_, x_)};
+  EXPECT_FALSE(with_blank.IsGround());
+  EXPECT_TRUE(with_blank.IsSimple());
+
+  Graph with_vocab{Triple(a_, vocab::kSc, b_)};
+  EXPECT_TRUE(with_vocab.IsGround());
+  EXPECT_FALSE(with_vocab.IsSimple());
+}
+
+TEST_F(GraphTest, SimpleChecksAllPositions) {
+  // Vocabulary in subject or object position also breaks simplicity
+  // (Def. 2.2 intersects the whole vocabulary with rdfsV).
+  Graph subj{Triple(vocab::kType, p_, b_)};
+  EXPECT_FALSE(subj.IsSimple());
+  Graph obj{Triple(a_, p_, vocab::kType)};
+  EXPECT_FALSE(obj.IsSimple());
+}
+
+TEST_F(GraphTest, UnionSharesBlankNodes) {
+  Graph g1{Triple(x_, p_, a_)};
+  Graph g2{Triple(x_, p_, b_)};
+  Graph u = Graph::Union(g1, g2);
+  EXPECT_EQ(u.size(), 2u);
+  EXPECT_EQ(u.BlankNodes().size(), 1u);  // X shared
+}
+
+TEST_F(GraphTest, MatchBySubject) {
+  Graph g{Triple(a_, p_, b_), Triple(a_, q_, c_), Triple(b_, p_, c_)};
+  size_t count = 0;
+  g.Match(a_, std::nullopt, std::nullopt, [&](const Triple&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 2u);
+}
+
+TEST_F(GraphTest, MatchByPredicate) {
+  Graph g{Triple(a_, p_, b_), Triple(a_, q_, c_), Triple(b_, p_, c_)};
+  EXPECT_EQ(g.CountMatches(std::nullopt, p_, std::nullopt), 2u);
+  EXPECT_EQ(g.CountMatches(std::nullopt, q_, std::nullopt), 1u);
+}
+
+TEST_F(GraphTest, MatchByPredicateObject) {
+  Graph g{Triple(a_, p_, c_), Triple(b_, p_, c_), Triple(a_, p_, b_)};
+  EXPECT_EQ(g.CountMatches(std::nullopt, p_, c_), 2u);
+}
+
+TEST_F(GraphTest, MatchByObjectOnly) {
+  Graph g{Triple(a_, p_, c_), Triple(b_, q_, c_), Triple(a_, p_, b_)};
+  EXPECT_EQ(g.CountMatches(std::nullopt, std::nullopt, c_), 2u);
+}
+
+TEST_F(GraphTest, MatchFullyBound) {
+  Graph g{Triple(a_, p_, b_)};
+  EXPECT_EQ(g.CountMatches(a_, p_, b_), 1u);
+  EXPECT_EQ(g.CountMatches(a_, p_, c_), 0u);
+}
+
+TEST_F(GraphTest, MatchSubjectPredicate) {
+  Graph g{Triple(a_, p_, b_), Triple(a_, p_, c_), Triple(a_, q_, b_)};
+  EXPECT_EQ(g.CountMatches(a_, p_, std::nullopt), 2u);
+}
+
+TEST_F(GraphTest, MatchEarlyStop) {
+  Graph g{Triple(a_, p_, b_), Triple(a_, p_, c_)};
+  size_t count = 0;
+  bool completed = g.Match(std::nullopt, std::nullopt, std::nullopt,
+                           [&](const Triple&) {
+                             ++count;
+                             return false;
+                           });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 1u);
+}
+
+TEST_F(GraphTest, MatchSurvivesMutationBetweenCalls) {
+  Graph g{Triple(a_, p_, b_)};
+  EXPECT_EQ(g.CountMatches(std::nullopt, p_, std::nullopt), 1u);
+  g.Insert(Triple(b_, p_, c_));
+  EXPECT_EQ(g.CountMatches(std::nullopt, p_, std::nullopt), 2u);
+  g.Erase(Triple(a_, p_, b_));
+  EXPECT_EQ(g.CountMatches(std::nullopt, p_, std::nullopt), 1u);
+}
+
+TEST_F(GraphTest, InsertAllIsSetUnion) {
+  Graph g1{Triple(a_, p_, b_)};
+  Graph g2{Triple(a_, p_, b_), Triple(b_, p_, c_)};
+  g1.InsertAll(g2);
+  EXPECT_EQ(g1.size(), 2u);
+}
+
+TEST(GraphParse, RoundTrip) {
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "urn:a urn:p urn:b .\n"
+                 "_:X urn:p urn:b .\n"
+                 "urn:a sc urn:c .\n");
+  std::string text = FormatGraph(g, dict);
+  Dictionary dict2;
+  Result<Graph> reparsed = ParseGraph(text, &dict2);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->size(), g.size());
+  EXPECT_EQ(FormatGraph(*reparsed, dict2), text);
+}
+
+}  // namespace
+}  // namespace swdb

@@ -1,0 +1,166 @@
+#include "rdf/hom.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+#include "util/str.h"
+
+namespace swdb {
+namespace {
+
+using swdb::testing::Data;
+using swdb::testing::G;
+
+class HomTest : public ::testing::Test {
+ protected:
+  Dictionary dict_;
+};
+
+TEST_F(HomTest, GroundSubgraphMaps) {
+  Graph g1 = Data(&dict_, "a p b .\nb p c .");
+  Graph g2 = Data(&dict_, "a p b .");
+  EXPECT_TRUE(HasHomomorphism(g2, g1));
+  EXPECT_FALSE(HasHomomorphism(g1, g2));
+}
+
+TEST_F(HomTest, BlankMapsToUri) {
+  Graph pattern = Data(&dict_, "_:X p b .");
+  Graph target = Data(&dict_, "a p b .");
+  Result<std::optional<TermMap>> r = FindHomomorphism(pattern, target);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->has_value());
+  EXPECT_EQ((*r)->Apply(dict_.Blank("X")), dict_.Iri("a"));
+}
+
+TEST_F(HomTest, SharedBlankMustAgree) {
+  Graph pattern = Data(&dict_, "_:X p b .\n_:X q c .");
+  Graph target_ok = Data(&dict_, "a p b .\na q c .");
+  Graph target_bad = Data(&dict_, "a p b .\nd q c .");
+  EXPECT_TRUE(HasHomomorphism(pattern, target_ok));
+  EXPECT_FALSE(HasHomomorphism(pattern, target_bad));
+}
+
+TEST_F(HomTest, RepeatedBlankInOneTriple) {
+  Graph pattern = Data(&dict_, "_:X p _:X .");
+  Graph no_loop = Data(&dict_, "a p b .");
+  Graph loop = Data(&dict_, "a p a .");
+  EXPECT_FALSE(HasHomomorphism(pattern, no_loop));
+  EXPECT_TRUE(HasHomomorphism(pattern, loop));
+}
+
+TEST_F(HomTest, EmptyPatternAlwaysMaps) {
+  Graph empty;
+  Graph target = Data(&dict_, "a p b .");
+  EXPECT_TRUE(HasHomomorphism(empty, target));
+  EXPECT_TRUE(HasHomomorphism(empty, empty));
+}
+
+TEST_F(HomTest, NonEmptyPatternNeverMapsToEmpty) {
+  Graph pattern = Data(&dict_, "_:X p _:Y .");
+  EXPECT_FALSE(HasHomomorphism(pattern, Graph()));
+}
+
+TEST_F(HomTest, VariablesInPatternsBindLikeBlanks) {
+  Graph pattern = G(&dict_, "?S ?P ?O .");
+  Graph target = Data(&dict_, "a p b .");
+  PatternMatcher matcher(pattern.triples(), &target);
+  size_t solutions = 0;
+  Status s = matcher.Enumerate([&](const TermMap& mu) {
+    EXPECT_EQ(mu.Apply(dict_.Var("S")), dict_.Iri("a"));
+    EXPECT_EQ(mu.Apply(dict_.Var("P")), dict_.Iri("p"));
+    EXPECT_EQ(mu.Apply(dict_.Var("O")), dict_.Iri("b"));
+    ++solutions;
+    return true;
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(solutions, 1u);
+}
+
+TEST_F(HomTest, EnumerationIsDuplicateFree) {
+  Graph pattern = G(&dict_, "?X p ?Y .\n?Y p ?Z .");
+  Graph target = Data(&dict_, "a p b .\nb p c .\nb p d .");
+  PatternMatcher matcher(pattern.triples(), &target);
+  std::vector<std::vector<Term>> seen;
+  Status s = matcher.Enumerate([&](const TermMap& mu) {
+    seen.push_back({mu.Apply(dict_.Var("X")), mu.Apply(dict_.Var("Y")),
+                    mu.Apply(dict_.Var("Z"))});
+    return true;
+  });
+  EXPECT_TRUE(s.ok());
+  std::sort(seen.begin(), seen.end());
+  auto dup = std::adjacent_find(seen.begin(), seen.end());
+  EXPECT_EQ(dup, seen.end());
+  EXPECT_EQ(seen.size(), 2u);  // (a,b,c) and (a,b,d)
+}
+
+TEST_F(HomTest, BudgetExhaustionReportsLimitExceeded) {
+  // A 10-variable clique pattern against a large random-ish target with
+  // a tiny budget must hit the limit.
+  Graph pattern;
+  Term p = dict_.Iri("p");
+  std::vector<Term> vars;
+  for (int i = 0; i < 6; ++i) vars.push_back(dict_.Var(NumberedName("v", i)));
+  for (Term x : vars) {
+    for (Term y : vars) {
+      if (x != y) pattern.Insert(x, p, y);
+    }
+  }
+  Graph target;
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j < 12; ++j) {
+      if (i != j && (i + j) % 3 != 0) {
+        target.Insert(dict_.Iri(NumberedName("n", i)), p,
+                      dict_.Iri(NumberedName("n", j)));
+      }
+    }
+  }
+  MatchOptions options;
+  options.max_steps = 5;
+  PatternMatcher matcher(pattern.triples(), &target, options);
+  size_t count = 0;
+  Status s = matcher.Enumerate([&](const TermMap&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(s.code(), StatusCode::kLimitExceeded);
+}
+
+TEST_F(HomTest, SimpleEntailsDirection) {
+  // Thm 2.8(2): G1 ⊨ G2 iff there is a map G2 → G1.
+  Graph g1 = Data(&dict_, "a p b .");
+  Graph g2 = Data(&dict_, "_:X p b .");
+  EXPECT_TRUE(SimpleEntails(g1, g2));   // X → a
+  EXPECT_FALSE(SimpleEntails(g2, g1));  // a is not in g2
+}
+
+TEST_F(HomTest, EntailmentIsReflexiveAndTransitive) {
+  Graph g1 = Data(&dict_, "a p b .\nb p c .");
+  Graph g2 = Data(&dict_, "_:X p _:Y .\n_:Y p _:Z .");
+  Graph g3 = Data(&dict_, "_:U p _:V .");
+  EXPECT_TRUE(SimpleEntails(g1, g1));
+  EXPECT_TRUE(SimpleEntails(g1, g2));
+  EXPECT_TRUE(SimpleEntails(g2, g3));
+  EXPECT_TRUE(SimpleEntails(g1, g3));
+}
+
+TEST_F(HomTest, EquivalenceOfBlankRenamings) {
+  Graph g1 = Data(&dict_, "_:X p _:Y .");
+  Graph g2 = Data(&dict_, "_:U p _:V .");
+  EXPECT_TRUE(SimpleEquivalent(g1, g2));
+}
+
+TEST_F(HomTest, LeanAndNonLeanEquivalent) {
+  // {(a,p,X)} ≡ {(a,p,X),(a,p,Y)}.
+  Graph lean = Data(&dict_, "a p _:X .");
+  Graph redundant = Data(&dict_, "a p _:X .\na p _:Y .");
+  EXPECT_TRUE(SimpleEquivalent(lean, redundant));
+}
+
+TEST_F(HomTest, GroundTriplePrefilterRejectsEarly) {
+  Graph pattern = Data(&dict_, "a p b .\n_:X p c .");
+  Graph target = Data(&dict_, "_:X p c .\nd p c .");  // lacks ground (a,p,b)
+  EXPECT_FALSE(HasHomomorphism(pattern, target));
+}
+
+}  // namespace
+}  // namespace swdb

@@ -1,0 +1,86 @@
+#include "rdf/iso.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/map.h"
+#include "testutil.h"
+
+namespace swdb {
+namespace {
+
+using swdb::testing::Data;
+
+class IsoTest : public ::testing::Test {
+ protected:
+  Dictionary dict_;
+};
+
+TEST_F(IsoTest, IdenticalGraphs) {
+  Graph g = Data(&dict_, "a p b .\n_:X p b .");
+  EXPECT_TRUE(AreIsomorphic(g, g));
+}
+
+TEST_F(IsoTest, BlankRenaming) {
+  Graph g1 = Data(&dict_, "_:X p _:Y .\n_:Y p a .");
+  Graph g2 = Data(&dict_, "_:U p _:V .\n_:V p a .");
+  EXPECT_TRUE(AreIsomorphic(g1, g2));
+  std::optional<TermMap> mu = FindIsomorphism(g1, g2);
+  ASSERT_TRUE(mu.has_value());
+  EXPECT_EQ(mu->Apply(g1), g2);
+}
+
+TEST_F(IsoTest, DifferentSizes) {
+  Graph g1 = Data(&dict_, "_:X p a .");
+  Graph g2 = Data(&dict_, "_:X p a .\n_:Y p a .");
+  EXPECT_FALSE(AreIsomorphic(g1, g2));
+}
+
+TEST_F(IsoTest, EquivalentButNotIsomorphic) {
+  // {(a,p,X)} and {(a,p,X),(a,p,Y)} are equivalent yet not isomorphic.
+  Graph g1 = Data(&dict_, "a p _:X .");
+  Graph g2 = Data(&dict_, "a p _:X .\na p _:Y .");
+  EXPECT_FALSE(AreIsomorphic(g1, g2));
+}
+
+TEST_F(IsoTest, GroundPartsMustBeEqual) {
+  Graph g1 = Data(&dict_, "a p b .\n_:X p b .");
+  Graph g2 = Data(&dict_, "a p c .\n_:X p b .");
+  EXPECT_FALSE(AreIsomorphic(g1, g2));
+}
+
+TEST_F(IsoTest, BlankCannotMapToUri) {
+  // Same sizes, same blank counts, but the structures differ.
+  Graph g1 = Data(&dict_, "_:X p _:X .\n_:Y q a .");
+  Graph g2 = Data(&dict_, "b p b .\n_:Y q a .\n");
+  EXPECT_FALSE(AreIsomorphic(g1, g2));
+}
+
+TEST_F(IsoTest, DirectionMatters) {
+  Graph g1 = Data(&dict_, "_:X p _:Y .\n_:X p _:Z .");  // out-star
+  Graph g2 = Data(&dict_, "_:Y p _:X .\n_:Z p _:X .");  // in-star
+  EXPECT_FALSE(AreIsomorphic(g1, g2));
+}
+
+TEST_F(IsoTest, CyclesOfDifferentLength) {
+  Graph c2 = Data(&dict_, "_:A p _:B .\n_:B p _:A .");
+  Graph c3 = Data(&dict_, "_:U p _:V .\n_:V p _:W .\n_:W p _:U .");
+  EXPECT_FALSE(AreIsomorphic(c2, c3));
+  // But there is a homomorphism c3 → ... none to c2? There is: 3-cycle
+  // into 2-cycle requires 2-coloring of an odd cycle — impossible; both
+  // directions fail, consistent with non-isomorphism.
+}
+
+TEST_F(IsoTest, PredicatesAreRigid) {
+  Graph g1 = Data(&dict_, "_:X p _:Y .");
+  Graph g2 = Data(&dict_, "_:X q _:Y .");
+  EXPECT_FALSE(AreIsomorphic(g1, g2));
+}
+
+TEST_F(IsoTest, PermutedCycleIsIsomorphic) {
+  Graph c3a = Data(&dict_, "_:U p _:V .\n_:V p _:W .\n_:W p _:U .");
+  Graph c3b = Data(&dict_, "_:B p _:C .\n_:C p _:A .\n_:A p _:B .");
+  EXPECT_TRUE(AreIsomorphic(c3a, c3b));
+}
+
+}  // namespace
+}  // namespace swdb

@@ -1,0 +1,142 @@
+#include "rdf/map.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace swdb {
+namespace {
+
+class MapTest : public ::testing::Test {
+ protected:
+  Dictionary dict_;
+  Term a_ = dict_.Iri("urn:a");
+  Term b_ = dict_.Iri("urn:b");
+  Term p_ = dict_.Iri("urn:p");
+  Term x_ = dict_.Blank("X");
+  Term y_ = dict_.Blank("Y");
+  Term z_ = dict_.Blank("Z");
+};
+
+TEST_F(MapTest, ApplyPreservesUrisAndUnboundTerms) {
+  TermMap mu;
+  mu.Bind(x_, a_);
+  EXPECT_EQ(mu.Apply(a_), a_);
+  EXPECT_EQ(mu.Apply(x_), a_);
+  EXPECT_EQ(mu.Apply(y_), y_);
+}
+
+TEST_F(MapTest, ApplyTriple) {
+  TermMap mu;
+  mu.Bind(x_, a_);
+  mu.Bind(y_, x_);
+  Triple t(x_, p_, y_);
+  EXPECT_EQ(mu.Apply(t), Triple(a_, p_, x_));
+}
+
+TEST_F(MapTest, ImageCanCollapseTriples) {
+  TermMap mu;
+  mu.Bind(x_, a_);
+  mu.Bind(y_, a_);
+  Graph g{Triple(x_, p_, b_), Triple(y_, p_, b_)};
+  Graph image = mu.Apply(g);
+  EXPECT_EQ(image.size(), 1u);
+  EXPECT_TRUE(image.Contains(Triple(a_, p_, b_)));
+}
+
+TEST_F(MapTest, Rebinding) {
+  TermMap mu;
+  mu.Bind(x_, a_);
+  mu.Bind(x_, b_);
+  EXPECT_EQ(mu.Apply(x_), b_);
+  mu.Unbind(x_);
+  EXPECT_EQ(mu.Apply(x_), x_);
+}
+
+TEST_F(MapTest, Composition) {
+  TermMap first;
+  first.Bind(x_, y_);
+  TermMap second;
+  second.Bind(y_, a_);
+  second.Bind(z_, b_);
+  TermMap composed = first.ComposeWith(second);
+  EXPECT_EQ(composed.Apply(x_), a_);  // second(first(x)) = second(y) = a
+  EXPECT_EQ(composed.Apply(y_), a_);  // key of second only
+  EXPECT_EQ(composed.Apply(z_), b_);
+}
+
+TEST_F(MapTest, ProperInstanceBySendingBlankToUri) {
+  Graph g{Triple(x_, p_, b_)};
+  TermMap mu;
+  mu.Bind(x_, a_);
+  EXPECT_TRUE(IsProperInstanceMap(g, mu));
+}
+
+TEST_F(MapTest, ProperInstanceByIdentifyingBlanks) {
+  Graph g{Triple(x_, p_, y_)};
+  TermMap mu;
+  mu.Bind(x_, y_);
+  EXPECT_TRUE(IsProperInstanceMap(g, mu));
+}
+
+TEST_F(MapTest, RenamingBlanksIsNotProper) {
+  Graph g{Triple(x_, p_, y_)};
+  TermMap mu;
+  mu.Bind(x_, z_);  // rename, still two distinct blanks
+  EXPECT_FALSE(IsProperInstanceMap(g, mu));
+  EXPECT_FALSE(IsProperInstanceMap(g, TermMap()));
+}
+
+TEST_F(MapTest, MergeRenamesOnlyClashingBlanks) {
+  Graph g1{Triple(x_, p_, a_)};
+  Graph g2{Triple(x_, p_, b_), Triple(y_, p_, b_)};
+  TermMap renaming;
+  Graph merged = Merge(g1, g2, &dict_, &renaming);
+  // X clashes and is renamed; Y does not and is kept.
+  EXPECT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged.BlankNodes().size(), 3u);
+  EXPECT_TRUE(renaming.IsBound(x_));
+  EXPECT_FALSE(renaming.IsBound(y_));
+}
+
+TEST_F(MapTest, MergeOfDisjointGraphsIsUnion) {
+  Graph g1{Triple(x_, p_, a_)};
+  Graph g2{Triple(y_, p_, b_)};
+  Graph merged = Merge(g1, g2, &dict_);
+  EXPECT_EQ(merged, Graph::Union(g1, g2));
+}
+
+TEST_F(MapTest, FreshBlankCopyIsIsomorphicAndDisjoint) {
+  Graph g{Triple(x_, p_, y_), Triple(y_, p_, a_)};
+  Graph copy = FreshBlankCopy(g, &dict_);
+  EXPECT_EQ(copy.size(), g.size());
+  // Blank sets disjoint.
+  for (Term blank : copy.BlankNodes()) {
+    EXPECT_NE(blank, x_);
+    EXPECT_NE(blank, y_);
+  }
+}
+
+TEST_F(MapTest, SkolemizeRoundTrip) {
+  Graph g{Triple(x_, p_, y_), Triple(a_, p_, b_)};
+  TermMap sk;
+  Graph ground = Skolemize(g, &dict_, &sk);
+  EXPECT_TRUE(ground.IsGround());
+  EXPECT_EQ(ground.size(), g.size());
+  Graph back = DeSkolemize(ground, sk);
+  EXPECT_EQ(back, g);
+}
+
+TEST_F(MapTest, DeSkolemizeDropsBlankPredicateTriples) {
+  // If a Skolem constant ends up in predicate position (possible in a
+  // closure of a graph with (a, sp, X)), de-Skolemization must drop the
+  // triple (paper §3.1).
+  TermMap sk;
+  sk.Bind(x_, dict_.Iri("urn:skolem:x"));
+  Graph h{Triple(a_, dict_.Iri("urn:skolem:x"), b_)};
+  Graph back = DeSkolemize(h, sk);
+  EXPECT_TRUE(back.empty());
+}
+
+}  // namespace
+}  // namespace swdb

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "inference/closure.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace swdb {
+namespace {
+
+using swdb::testing::Data;
+using vocab::kSc;
+using vocab::kSp;
+using vocab::kType;
+
+// Cross-checks ClosureMembership against the materialized closure on
+// every triple over a small term universe.
+void CrossCheck(const Graph& g, bool expect_direct) {
+  ClosureMembership membership(g);
+  EXPECT_EQ(membership.IsDirect(), expect_direct);
+  Graph cl = RdfsClosure(g);
+
+  std::vector<Term> universe = g.Universe();
+  for (Term v : vocab::kAll) universe.push_back(v);
+  std::sort(universe.begin(), universe.end());
+  universe.erase(std::unique(universe.begin(), universe.end()),
+                 universe.end());
+
+  for (Term s : universe) {
+    for (Term p : universe) {
+      if (!p.IsIri()) continue;
+      for (Term o : universe) {
+        Triple t(s, p, o);
+        EXPECT_EQ(membership.Contains(t), cl.Contains(t))
+            << "disagreement on triple (" << s.bits() << "," << p.bits()
+            << "," << o.bits() << ")";
+      }
+    }
+  }
+}
+
+TEST(ClosureMembership, DirectModeOnScSpChains) {
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "a sc b .\n"
+                 "b sc c .\n"
+                 "p sp q .\n"
+                 "x p y .\n");
+  CrossCheck(g, /*expect_direct=*/true);
+}
+
+TEST(ClosureMembership, DirectModeWithDomRange) {
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "p dom c .\n"
+                 "q range d .\n"
+                 "r sp p .\n"
+                 "r sp q .\n"
+                 "x r y .\n"
+                 "c sc e .\n");
+  CrossCheck(g, /*expect_direct=*/true);
+}
+
+TEST(ClosureMembership, DirectModeWithTypeFacts) {
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "a sc b .\n"
+                 "b sc c .\n"
+                 "x type a .\n"
+                 "y type b .\n");
+  CrossCheck(g, /*expect_direct=*/true);
+}
+
+TEST(ClosureMembership, DirectModeWithBlanks) {
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "_:X sc b .\n"
+                 "a sc _:X .\n"
+                 "u type _:X .\n"
+                 "p dom _:C .\n"
+                 "m p n .\n");
+  CrossCheck(g, /*expect_direct=*/true);
+}
+
+TEST(ClosureMembership, DirectModeOnScCycle) {
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "a sc b .\n"
+                 "b sc a .\n"
+                 "x type a .\n");
+  CrossCheck(g, /*expect_direct=*/true);
+}
+
+TEST(ClosureMembership, FallbackOnVocabInObjectPosition) {
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "e sp sc .\n"
+                 "a e b .\n"
+                 "x type a .\n");
+  CrossCheck(g, /*expect_direct=*/false);
+}
+
+TEST(ClosureMembership, FallbackOnVocabInSubjectPosition) {
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "type dom a .\n"
+                 "a sc b .\n"
+                 "x type a .\n"
+                 "x type b .\n");
+  CrossCheck(g, /*expect_direct=*/false);
+}
+
+TEST(ClosureMembership, RandomSchemaWorkloads) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Dictionary dict;
+    Rng rng(seed);
+    SchemaWorkloadSpec spec;
+    spec.num_classes = 5;
+    spec.num_properties = 4;
+    spec.num_instances = 5;
+    spec.num_facts = 8;
+    Graph g = SchemaWorkload(spec, &dict, &rng);
+    CrossCheck(g, /*expect_direct=*/true);
+  }
+}
+
+TEST(ClosureMembership, IllFormedTripleNeverInClosure) {
+  Dictionary dict;
+  Graph g = Data(&dict, "a sc b .");
+  ClosureMembership membership(g);
+  Term a = dict.Iri("a");
+  Term blank = dict.Blank("B");
+  EXPECT_FALSE(membership.Contains(Triple(a, blank, a)));
+}
+
+}  // namespace
+}  // namespace swdb

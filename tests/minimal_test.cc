@@ -1,0 +1,141 @@
+#include "normal/minimal.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "inference/closure.h"
+#include "rdf/iso.h"
+#include "testutil.h"
+
+namespace swdb {
+namespace {
+
+using swdb::testing::Data;
+
+TEST(Minimal, Preconditions) {
+  Dictionary dict;
+  Graph ok = Data(&dict, "a sc b .\nx p y .");
+  EXPECT_FALSE(HasReservedVocabInSubjectOrObject(ok));
+  EXPECT_TRUE(IsAcyclicScSp(ok));
+
+  Graph vocab_in_subject = Data(&dict, "type dom a .");
+  EXPECT_TRUE(HasReservedVocabInSubjectOrObject(vocab_in_subject));
+
+  Graph sc_cycle = Data(&dict, "a sc b .\nb sc a .");
+  EXPECT_FALSE(IsAcyclicScSp(sc_cycle));
+
+  Graph sp_cycle = Data(&dict, "p sp q .\nq sp p .");
+  EXPECT_FALSE(IsAcyclicScSp(sp_cycle));
+
+  Graph self_loop = Data(&dict, "a sc a .");
+  EXPECT_TRUE(IsAcyclicScSp(self_loop));  // trivial loops tolerated
+}
+
+TEST(Minimal, RemovesTransitivelyRedundantScTriple) {
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "a sc b .\n"
+                 "b sc c .\n"
+                 "a sc c .\n");
+  Graph minimal = MinimalRepresentation(g);
+  EXPECT_EQ(minimal.size(), 2u);
+  EXPECT_TRUE(RdfsEquivalent(minimal, g));
+  EXPECT_FALSE(minimal.Contains(
+      Triple(dict.Iri("a"), vocab::kSc, dict.Iri("c"))));
+}
+
+TEST(Minimal, Example314TwoMinimalRepresentations) {
+  // Paper Ex. 3.14: b ⇄ c via sp, both sp a. Deleting either (b,sp,a) or
+  // (c,sp,a) gives two non-isomorphic reductions (transitive-reduction
+  // non-uniqueness on cyclic graphs).
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "b sp c .\n"
+                 "c sp b .\n"
+                 "b sp a .\n"
+                 "c sp a .\n");
+  std::vector<Graph> minimums = AllMinimumRepresentations(g);
+  ASSERT_EQ(minimums.size(), 2u);
+  for (const Graph& m : minimums) {
+    EXPECT_TRUE(RdfsEquivalent(m, g));
+    EXPECT_EQ(m.size(), 3u);
+  }
+  EXPECT_FALSE(AreIsomorphic(minimums[0], minimums[1]));
+}
+
+TEST(Minimal, Example315TwoMinimalRepresentationsDespiteAcyclicity) {
+  // G = {(a,sc,b), (type,dom,a), (x,type,a), (x,type,b)} has two
+  // non-isomorphic minimal representations G1, G2 (paper Ex. 3.15).
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "a sc b .\n"
+                 "type dom a .\n"
+                 "x type a .\n"
+                 "x type b .\n");
+  std::vector<Graph> minimums = AllMinimumRepresentations(g);
+  ASSERT_EQ(minimums.size(), 2u);
+  Graph g1 = Data(&dict, "a sc b .\ntype dom a .\nx type a .");
+  Graph g2 = Data(&dict, "a sc b .\ntype dom a .\nx type b .");
+  EXPECT_TRUE((minimums[0] == g1 && minimums[1] == g2) ||
+              (minimums[0] == g2 && minimums[1] == g1));
+  EXPECT_FALSE(AreIsomorphic(g1, g2));
+}
+
+TEST(Minimal, Theorem316UniqueMinimumUnderRestrictions) {
+  // No reserved vocab in subject/object, acyclic sc/sp → unique minimum.
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "a sc b .\n"
+                 "b sc c .\n"
+                 "a sc c .\n"       // redundant
+                 "p sp q .\n"
+                 "q sp r .\n"
+                 "p sp r .\n"       // redundant
+                 "x p y .\n"
+                 "x q y .\n"        // redundant (p sp q)
+                 "p dom c .\n"
+                 "x type c .\n");   // redundant (dom typing)
+  ASSERT_FALSE(HasReservedVocabInSubjectOrObject(g));
+  ASSERT_TRUE(IsAcyclicScSp(g));
+  std::vector<Graph> minimums = AllMinimumRepresentations(g);
+  ASSERT_EQ(minimums.size(), 1u);
+  EXPECT_EQ(minimums[0].size(), 6u);
+  // Greedy removal reaches the same unique minimum from any order.
+  for (uint64_t seed : {0ULL, 1ULL, 2ULL, 3ULL}) {
+    EXPECT_EQ(MinimalRepresentation(g, seed), minimums[0])
+        << "seed " << seed;
+  }
+}
+
+TEST(Minimal, GreedyOrderSensitivityOutsideTheRestrictedClass) {
+  // On Example 3.15's graph, different orders can reach different
+  // minimal representations.
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "a sc b .\n"
+                 "type dom a .\n"
+                 "x type a .\n"
+                 "x type b .\n");
+  std::set<std::vector<Triple>> results;
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    results.insert(MinimalRepresentation(g, seed).triples());
+  }
+  EXPECT_GE(results.size(), 2u);
+}
+
+TEST(Minimal, MinimalRepresentationIsAlwaysEquivalentSubgraph) {
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "a sc b .\n"
+                 "b sc c .\n"
+                 "a sc c .\n"
+                 "u type a .\n"
+                 "u type c .\n");
+  Graph m = MinimalRepresentation(g, 7);
+  EXPECT_TRUE(m.IsSubgraphOf(g));
+  EXPECT_TRUE(RdfsEquivalent(m, g));
+}
+
+}  // namespace
+}  // namespace swdb

@@ -1,0 +1,163 @@
+#include "model/canonical.h"
+#include "model/interpretation.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "inference/closure.h"
+#include "rdf/hom.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace swdb {
+namespace {
+
+using swdb::testing::Data;
+using vocab::kSc;
+using vocab::kSp;
+using vocab::kType;
+
+TEST(Interpretation, BasicAccessors) {
+  Interpretation i(3);
+  i.MarkProp(0);
+  i.MarkClass(1);
+  i.AddPExt(0, 1, 2);
+  i.AddCExt(1, 2);
+  EXPECT_TRUE(i.IsProp(0));
+  EXPECT_FALSE(i.IsProp(1));
+  EXPECT_TRUE(i.InPExt(0, 1, 2));
+  EXPECT_FALSE(i.InPExt(0, 2, 1));
+  EXPECT_TRUE(i.InCExt(1, 2));
+}
+
+TEST(Interpretation, CheckRdfsConditionsOnHandBuiltModel) {
+  // Domain: 0=sp 1=sc 2=type 3=dom 4=range (properties), 5=class, 6=el.
+  Interpretation i(7);
+  for (uint32_t r = 0; r < 5; ++r) i.MarkProp(r);
+  i.MarkClass(5);
+  for (Term v : vocab::kAll) i.SetInt(v, v.id());
+  // sp reflexive over Prop.
+  for (uint32_t r = 0; r < 5; ++r) i.AddPExt(0, r, r);
+  // sc reflexive over Class.
+  i.AddPExt(1, 5, 5);
+  // 6 is an instance of class 5.
+  i.MarkClass(5);
+  i.AddCExt(5, 6);
+  i.AddPExt(2, 6, 5);  // PExt(type) mirrors CExt
+  EXPECT_TRUE(i.CheckRdfsConditions().ok())
+      << i.CheckRdfsConditions().ToString();
+}
+
+TEST(Interpretation, CheckDetectsMissingSpReflexivity) {
+  Interpretation i(6);
+  for (uint32_t r = 0; r < 5; ++r) i.MarkProp(r);
+  i.MarkProp(5);
+  for (Term v : vocab::kAll) i.SetInt(v, v.id());
+  for (uint32_t r = 0; r < 5; ++r) i.AddPExt(0, r, r);
+  // Prop member 5 lacks (5,5) in PExt(sp).
+  EXPECT_FALSE(i.CheckRdfsConditions().ok());
+}
+
+TEST(Interpretation, CheckDetectsTypeCExtMismatch) {
+  Interpretation i(7);
+  for (uint32_t r = 0; r < 5; ++r) i.MarkProp(r);
+  for (Term v : vocab::kAll) i.SetInt(v, v.id());
+  for (uint32_t r = 0; r < 5; ++r) i.AddPExt(0, r, r);
+  i.MarkClass(5);
+  i.AddPExt(1, 5, 5);
+  i.AddCExt(5, 6);  // CExt says 6 : 5, but PExt(type) does not
+  EXPECT_FALSE(i.CheckRdfsConditions().ok());
+}
+
+TEST(CanonicalModel, SatisfiesRdfsConditions) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Dictionary dict;
+    Rng rng(seed);
+    SchemaWorkloadSpec spec;
+    spec.num_classes = 5;
+    spec.num_properties = 4;
+    spec.num_instances = 6;
+    spec.num_facts = 10;
+    Graph g = SchemaWorkload(spec, &dict, &rng);
+    Interpretation canonical = CanonicalModel(g, &dict);
+    EXPECT_TRUE(canonical.CheckRdfsConditions().ok())
+        << "seed " << seed << ": "
+        << canonical.CheckRdfsConditions().ToString();
+    EXPECT_TRUE(SatisfiesSimple(canonical, g)) << "seed " << seed;
+  }
+}
+
+TEST(CanonicalModel, ModelsItsOwnGraph) {
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "a sc b .\n"
+                 "_:X type a .\n"
+                 "p dom b .\n"
+                 "_:X p _:Y .\n");
+  Interpretation canonical = CanonicalModel(g, &dict);
+  EXPECT_TRUE(Models(canonical, g));
+}
+
+TEST(TermModel, SemanticSimpleEntailsAgreesWithMapCharacterization) {
+  // Thm 2.8(2) checked semantically: the independent term-model
+  // satisfaction test agrees with the homomorphism test.
+  Rng rng(42);
+  for (int round = 0; round < 30; ++round) {
+    Dictionary dict;
+    RandomGraphSpec spec;
+    spec.num_nodes = 6;
+    spec.num_triples = 8;
+    spec.num_predicates = 2;
+    spec.blank_ratio = 0.5;
+    Graph g1 = RandomSimpleGraph(spec, &dict, &rng);
+    spec.num_triples = 4;
+    Graph g2 = RandomSimpleGraph(spec, &dict, &rng);
+    EXPECT_EQ(SemanticSimpleEntails(g1, g2), SimpleEntails(g1, g2))
+        << "round " << round;
+    EXPECT_TRUE(SemanticSimpleEntails(g1, g1));
+  }
+}
+
+TEST(CanonicalModel, SemanticRdfsEntailsAgreesWithClosureCharacterization) {
+  // Thm 2.8(1) checked semantically on schema workloads.
+  Rng rng(17);
+  for (int round = 0; round < 10; ++round) {
+    Dictionary dict;
+    SchemaWorkloadSpec spec;
+    spec.num_classes = 4;
+    spec.num_properties = 3;
+    spec.num_instances = 4;
+    spec.num_facts = 6;
+    Graph g1 = SchemaWorkload(spec, &dict, &rng);
+    SchemaWorkloadSpec small = spec;
+    small.num_facts = 2;
+    small.num_instances = 2;
+    Graph g2 = SchemaWorkload(small, &dict, &rng);
+    EXPECT_EQ(SemanticRdfsEntails(g1, g2, &dict), RdfsEntails(g1, g2))
+        << "round " << round;
+  }
+}
+
+TEST(CanonicalModel, EntailedTriplesAreSatisfied) {
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "a sc b .\n"
+                 "b sc c .\n"
+                 "x type a .\n");
+  Graph entailed = Data(&dict, "x type c .");
+  Graph not_entailed = Data(&dict, "c sc a .");
+  EXPECT_TRUE(SemanticRdfsEntails(g, entailed, &dict));
+  EXPECT_FALSE(SemanticRdfsEntails(g, not_entailed, &dict));
+}
+
+TEST(TermModel, BlankAssignmentSearchHandlesJoins) {
+  Dictionary dict;
+  Graph g1 = Data(&dict, "a p b .\nb p c .");
+  Graph chain = Data(&dict, "_:X p _:Y .\n_:Y p _:Z .");
+  Graph cycle = Data(&dict, "_:X p _:Y .\n_:Y p _:X .");
+  EXPECT_TRUE(SemanticSimpleEntails(g1, chain));
+  EXPECT_FALSE(SemanticSimpleEntails(g1, cycle));
+}
+
+}  // namespace
+}  // namespace swdb

@@ -1,0 +1,120 @@
+#include "normal/normal_form.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "inference/closure.h"
+#include "normal/core.h"
+#include "rdf/iso.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace swdb {
+namespace {
+
+using swdb::testing::Data;
+
+TEST(NormalForm, IsCoreOfClosure) {
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "a sc b .\n"
+                 "x type a .\n");
+  EXPECT_EQ(NormalForm(g), Core(RdfsClosure(g)));
+}
+
+TEST(NormalForm, Example317EquivalentGraphsGetIsomorphicNormalForms) {
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "a sc b .\n"
+                 "b sc c .\n"
+                 "a sc _:N .\n"
+                 "_:N sc c .\n");
+  Graph h = Data(&dict,
+                 "a sc b .\n"
+                 "b sc c .\n"
+                 "a sc c .\n");
+  ASSERT_TRUE(RdfsEquivalent(g, h));
+  // Closures differ (syntax dependence)...
+  EXPECT_FALSE(AreIsomorphic(RdfsClosure(g), RdfsClosure(h)));
+  // ...but the normal forms agree (Thm 3.19(2)).
+  EXPECT_TRUE(AreIsomorphic(NormalForm(g), NormalForm(h)));
+}
+
+TEST(NormalForm, NonEquivalentGraphsGetDifferentNormalForms) {
+  Dictionary dict;
+  Graph g = Data(&dict, "a sc b .");
+  Graph h = Data(&dict, "b sc a .");
+  EXPECT_FALSE(AreIsomorphic(NormalForm(g), NormalForm(h)));
+}
+
+TEST(NormalForm, IdempotentUpToIsomorphism) {
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "a sc b .\n"
+                 "p dom a .\n"
+                 "x p y .\n");
+  Graph nf = NormalForm(g);
+  EXPECT_TRUE(AreIsomorphic(NormalForm(nf), nf));
+}
+
+TEST(NormalForm, EquivalentToOriginal) {
+  Dictionary dict;
+  Rng rng(21);
+  SchemaWorkloadSpec spec;
+  spec.num_classes = 4;
+  spec.num_properties = 3;
+  spec.num_instances = 5;
+  spec.num_facts = 8;
+  Graph g = SchemaWorkload(spec, &dict, &rng);
+  EXPECT_TRUE(RdfsEquivalent(NormalForm(g), g));
+}
+
+TEST(NormalForm, SyntaxIndependenceOnMutatedEquivalents) {
+  // Thm 3.19(2) as a property test: randomized equivalence-preserving
+  // mutations never change the normal form (up to isomorphism).
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Dictionary dict;
+    Rng rng(seed);
+    SchemaWorkloadSpec spec;
+    spec.num_classes = 3;
+    spec.num_properties = 2;
+    spec.num_instances = 3;
+    spec.num_facts = 4;
+    Graph g = SchemaWorkload(spec, &dict, &rng);
+    Graph mutated = EquivalentMutation(g, 4, &dict, &rng);
+    ASSERT_TRUE(RdfsEquivalent(g, mutated)) << "seed " << seed;
+    EXPECT_TRUE(AreIsomorphic(NormalForm(g), NormalForm(mutated)))
+        << "seed " << seed;
+  }
+}
+
+TEST(NormalForm, IsNormalFormOfDecision) {
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "a sc b .\n"
+                 "b sc c .\n"
+                 "a sc _:N .\n"
+                 "_:N sc c .\n");
+  Graph h = Data(&dict,
+                 "a sc b .\n"
+                 "b sc c .\n"
+                 "a sc c .\n");
+  EXPECT_TRUE(IsNormalFormOf(NormalForm(h), g));
+  EXPECT_FALSE(IsNormalFormOf(h, g));  // h is not closed
+}
+
+TEST(NormalForm, SimpleGraphNormalFormContainsVocabAxioms) {
+  // For simple graphs nf adds only the vocabulary reflexivity axioms and
+  // the (p,sp,p)/(p-predicate) tautologies of the closure.
+  Dictionary dict;
+  Graph g = Data(&dict, "a p b .");
+  Graph nf = NormalForm(g);
+  EXPECT_TRUE(nf.Contains(Triple(dict.Iri("a"), dict.Iri("p"),
+                                 dict.Iri("b"))));
+  EXPECT_TRUE(nf.Contains(Triple(dict.Iri("p"), vocab::kSp, dict.Iri("p"))));
+  EXPECT_TRUE(
+      nf.Contains(Triple(vocab::kType, vocab::kSp, vocab::kType)));
+}
+
+}  // namespace
+}  // namespace swdb

@@ -1,0 +1,129 @@
+#include "parser/text.h"
+
+#include <gtest/gtest.h>
+
+namespace swdb {
+namespace {
+
+TEST(ParseTerm, Kinds) {
+  Dictionary dict;
+  Result<Term> iri = ParseTerm("urn:a", &dict);
+  ASSERT_TRUE(iri.ok());
+  EXPECT_TRUE(iri->IsIri());
+
+  Result<Term> angle = ParseTerm("<http://x/y>", &dict);
+  ASSERT_TRUE(angle.ok());
+  EXPECT_EQ(dict.Name(*angle), "http://x/y");
+
+  Result<Term> blank = ParseTerm("_:node", &dict);
+  ASSERT_TRUE(blank.ok());
+  EXPECT_TRUE(blank->IsBlank());
+
+  Result<Term> var = ParseTerm("?X", &dict, /*allow_vars=*/true);
+  ASSERT_TRUE(var.ok());
+  EXPECT_TRUE(var->IsVar());
+}
+
+TEST(ParseTerm, VocabularyKeywords) {
+  Dictionary dict;
+  EXPECT_EQ(*ParseTerm("sp", &dict), vocab::kSp);
+  EXPECT_EQ(*ParseTerm("sc", &dict), vocab::kSc);
+  EXPECT_EQ(*ParseTerm("type", &dict), vocab::kType);
+  EXPECT_EQ(*ParseTerm("dom", &dict), vocab::kDom);
+  EXPECT_EQ(*ParseTerm("range", &dict), vocab::kRange);
+}
+
+TEST(ParseTerm, Errors) {
+  Dictionary dict;
+  EXPECT_FALSE(ParseTerm("", &dict).ok());
+  EXPECT_FALSE(ParseTerm("?", &dict, true).ok());
+  EXPECT_FALSE(ParseTerm("_:", &dict).ok());
+  EXPECT_FALSE(ParseTerm("<>", &dict).ok());
+  EXPECT_FALSE(ParseTerm("?X", &dict, /*allow_vars=*/false).ok());
+}
+
+TEST(ParseGraph, CommentsAndBlankLines) {
+  Dictionary dict;
+  Result<Graph> g = ParseGraph(
+      "# a comment\n"
+      "\n"
+      "a p b .   # trailing comment\n"
+      "c p d\n",  // no trailing dot
+      &dict);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->size(), 2u);
+}
+
+TEST(ParseGraph, ErrorsCarryLineNumbers) {
+  Dictionary dict;
+  Result<Graph> g = ParseGraph("a p b .\na p .\n", &dict);
+  ASSERT_FALSE(g.ok());
+  EXPECT_NE(g.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ParseGraph, RejectsBlankPredicate) {
+  Dictionary dict;
+  Result<Graph> g = ParseGraph("a _:P b .", &dict);
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(ParseGraph, RejectsVariablesUnlessAllowed) {
+  Dictionary dict;
+  EXPECT_FALSE(ParseGraph("?X p b .", &dict, false).ok());
+  EXPECT_TRUE(ParseGraph("?X p b .", &dict, true).ok());
+}
+
+TEST(Format, VocabularyRoundTrips) {
+  Dictionary dict;
+  Triple t(dict.Iri("a"), vocab::kSc, dict.Iri("b"));
+  EXPECT_EQ(FormatTriple(t, dict), "a sc b .");
+}
+
+TEST(Format, BlankAndVarSpelling) {
+  Dictionary dict;
+  EXPECT_EQ(FormatTerm(dict.Blank("n"), dict), "_:n");
+  EXPECT_EQ(FormatTerm(dict.Var("V"), dict), "?V");
+}
+
+TEST(ParseQuery, MinimalQuery) {
+  Dictionary dict;
+  Result<Query> q = ParseQuery(
+      "head: ?X p ?Y .\n"
+      "body: ?X p ?Y .\n",
+      &dict);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->premise.empty());
+  EXPECT_TRUE(q->constraints.empty());
+}
+
+TEST(ParseQuery, DuplicateBindIsDeduplicated) {
+  Dictionary dict;
+  Result<Query> q = ParseQuery(
+      "head: ?X p ?Y .\n"
+      "body: ?X p ?Y .\n"
+      "bind: ?X ?X\n"
+      "bind: ?X\n",
+      &dict);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->constraints.size(), 1u);
+}
+
+TEST(ParseQuery, PremiseWithVariablesRejected) {
+  Dictionary dict;
+  Result<Query> q = ParseQuery(
+      "head: ?X p ?Y .\n"
+      "body: ?X p ?Y .\n"
+      "premise: ?X t s .\n",
+      &dict);
+  EXPECT_FALSE(q.ok());
+}
+
+TEST(ParseQuery, MissingColonIsParseError) {
+  Dictionary dict;
+  Result<Query> q = ParseQuery("head ?X p ?Y .", &dict);
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace swdb

@@ -1,0 +1,156 @@
+#include "paths/path.h"
+
+#include <gtest/gtest.h>
+
+#include "inference/closure.h"
+#include "testutil.h"
+
+namespace swdb {
+namespace {
+
+using swdb::testing::Data;
+
+class PathsTest : public ::testing::Test {
+ protected:
+  Dictionary dict_;
+  Graph g_ = Data(&dict_,
+                  "a p b .\n"
+                  "b p c .\n"
+                  "c p d .\n"
+                  "a q x .\n"
+                  "x r d .\n"
+                  "d p a .\n");  // p-cycle a→b→c→d→a
+
+  std::vector<Term> Eval(const std::string& expr, const char* from) {
+    Result<PathExpr> path = ParsePathExpr(expr, &dict_);
+    EXPECT_TRUE(path.ok()) << path.status().ToString();
+    if (!path.ok()) return {};
+    return EvalPathFrom(g_, *path, {dict_.Iri(from)});
+  }
+};
+
+TEST_F(PathsTest, SinglePredicateStep) {
+  std::vector<Term> out = Eval("p", "a");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], dict_.Iri("b"));
+}
+
+TEST_F(PathsTest, InverseStep) {
+  std::vector<Term> out = Eval("^p", "b");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], dict_.Iri("a"));
+}
+
+TEST_F(PathsTest, Sequence) {
+  std::vector<Term> out = Eval("p/p", "a");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], dict_.Iri("c"));
+}
+
+TEST_F(PathsTest, Alternation) {
+  std::vector<Term> out = Eval("p|q", "a");
+  EXPECT_EQ(out.size(), 2u);  // b and x
+}
+
+TEST_F(PathsTest, StarIncludesSource) {
+  std::vector<Term> out = Eval("q*", "a");
+  EXPECT_EQ(out.size(), 2u);  // a itself and x
+}
+
+TEST_F(PathsTest, PlusExcludesSourceUnlessCyclic) {
+  std::vector<Term> acyclic = Eval("q+", "a");
+  ASSERT_EQ(acyclic.size(), 1u);
+  EXPECT_EQ(acyclic[0], dict_.Iri("x"));
+  // p is cyclic, so a reaches itself via p+.
+  std::vector<Term> cyclic = Eval("p+", "a");
+  EXPECT_EQ(cyclic.size(), 4u);  // a, b, c, d
+}
+
+TEST_F(PathsTest, OptionalStep) {
+  std::vector<Term> out = Eval("q?", "a");
+  EXPECT_EQ(out.size(), 2u);  // a and x
+}
+
+TEST_F(PathsTest, ComplexExpression) {
+  // Either hop twice on p, or take the q/r detour — both reach d from b?
+  // From a: (p/p)|(q/r) reaches c and d.
+  std::vector<Term> out = Eval("(p/p)|(q/r)", "a");
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(PathsTest, PathReachesHelper) {
+  Result<PathExpr> path = ParsePathExpr("p+", &dict_);
+  ASSERT_TRUE(path.ok());
+  EXPECT_TRUE(PathReaches(g_, *path, dict_.Iri("a"), dict_.Iri("d")));
+  EXPECT_FALSE(PathReaches(g_, *path, dict_.Iri("a"), dict_.Iri("x")));
+}
+
+TEST_F(PathsTest, PairsEnumerateRelation) {
+  Result<PathExpr> path = ParsePathExpr("p", &dict_);
+  ASSERT_TRUE(path.ok());
+  std::vector<std::pair<Term, Term>> pairs = EvalPathPairs(g_, *path);
+  EXPECT_EQ(pairs.size(), 4u);
+}
+
+TEST_F(PathsTest, InverseStarWalksBackwards) {
+  std::vector<Term> out = Eval("(^p)+", "d");
+  EXPECT_EQ(out.size(), 4u);  // cycle backwards
+}
+
+TEST_F(PathsTest, RdfsAwarePathOverClosure) {
+  // Reachability through the subclass hierarchy: evaluate sc+ over the
+  // closure to follow derived edges too.
+  Dictionary dict;
+  Graph schema = Data(&dict,
+                      "cat sc mammal .\n"
+                      "mammal sc animal .\n");
+  Result<PathExpr> path = ParsePathExpr("sc+", &dict);
+  ASSERT_TRUE(path.ok());
+  Graph closure = RdfsClosure(schema);
+  std::vector<Term> from_cat =
+      EvalPathFrom(closure, *path, {dict.Iri("cat")});
+  // cat, mammal, animal — reflexive (cat,sc,cat) includes cat itself.
+  EXPECT_EQ(from_cat.size(), 3u);
+}
+
+TEST_F(PathsTest, ParserRejectsGarbage) {
+  Dictionary dict;
+  EXPECT_FALSE(ParsePathExpr("", &dict).ok());
+  EXPECT_FALSE(ParsePathExpr("(p", &dict).ok());
+  EXPECT_FALSE(ParsePathExpr("p//q", &dict).ok());
+  EXPECT_FALSE(ParsePathExpr("p | ", &dict).ok());
+  EXPECT_FALSE(ParsePathExpr("^", &dict).ok());
+  EXPECT_FALSE(ParsePathExpr("p q", &dict).ok());
+}
+
+TEST_F(PathsTest, ParserPrecedence) {
+  // '/' binds tighter than '|'; postfix binds tightest.
+  Dictionary dict;
+  Result<PathExpr> path = ParsePathExpr("a/b|c*", &dict);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->kind(), PathExpr::Kind::kAlternation);
+  EXPECT_EQ(path->left().kind(), PathExpr::Kind::kSequence);
+  EXPECT_EQ(path->right().kind(), PathExpr::Kind::kStar);
+}
+
+TEST_F(PathsTest, ToStringRoundTrips) {
+  Dictionary dict;
+  for (const char* expr :
+       {"p", "^p", "(p/q)", "(p|q)", "(p)*", "((p/q))+", "(sc)*"}) {
+    Result<PathExpr> path = ParsePathExpr(expr, &dict);
+    ASSERT_TRUE(path.ok()) << expr;
+    std::string printed = path->ToString(dict);
+    Result<PathExpr> reparsed = ParsePathExpr(printed, &dict);
+    ASSERT_TRUE(reparsed.ok()) << printed;
+    EXPECT_EQ(reparsed->ToString(dict), printed);
+  }
+}
+
+TEST_F(PathsTest, EmptySourcesGiveEmptyResult) {
+  Result<PathExpr> path = ParsePathExpr("p+", &dict_);
+  ASSERT_TRUE(path.ok());
+  EXPECT_TRUE(EvalPathFrom(g_, *path, {}).empty());
+}
+
+}  // namespace
+}  // namespace swdb

@@ -1,0 +1,143 @@
+#include "inference/proof.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "inference/closure.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace swdb {
+namespace {
+
+using swdb::testing::Data;
+using vocab::kSc;
+using vocab::kSp;
+using vocab::kType;
+
+TEST(Proof, ProveAndCheckRdfsEntailment) {
+  Dictionary dict;
+  Graph g1 = Data(&dict,
+                  "a sc b .\n"
+                  "b sc c .\n"
+                  "x type a .\n");
+  Graph g2 = Data(&dict, "x type c .");
+  Result<Proof> proof = ProveEntailment(g1, g2);
+  ASSERT_TRUE(proof.ok()) << proof.status().ToString();
+  EXPECT_TRUE(CheckProof(*proof).ok()) << CheckProof(*proof).ToString();
+  EXPECT_EQ(proof->start, g1);
+  EXPECT_EQ(proof->goal, g2);
+}
+
+TEST(Proof, ProveEntailmentWithBlanksInGoal) {
+  Dictionary dict;
+  Graph g1 = Data(&dict, "p dom c .\nu p v .");
+  Graph g2 = Data(&dict, "_:W type c .");
+  Result<Proof> proof = ProveEntailment(g1, g2);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(CheckProof(*proof).ok()) << CheckProof(*proof).ToString();
+  // The final step must be a map step instantiating the blank.
+  ASSERT_FALSE(proof->steps.empty());
+  EXPECT_TRUE(std::holds_alternative<MapStep>(proof->steps.back()));
+}
+
+TEST(Proof, NonEntailmentIsNotFound) {
+  Dictionary dict;
+  Graph g1 = Data(&dict, "a sc b .");
+  Graph g2 = Data(&dict, "b sc a .");
+  Result<Proof> proof = ProveEntailment(g1, g2);
+  EXPECT_FALSE(proof.ok());
+  EXPECT_EQ(proof.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Proof, CheckRejectsMissingPremise) {
+  Dictionary dict;
+  Graph g = Data(&dict, "a sc b .");
+  Term a = dict.Iri("a");
+  Term b = dict.Iri("b");
+  Term c = dict.Iri("c");
+  Proof bogus;
+  bogus.start = g;
+  bogus.goal = Graph{Triple(a, kSc, c)};
+  bogus.steps.push_back(RuleStep{RuleApplication{
+      RuleId::kScTransitivity,
+      {Triple(a, kSc, b), Triple(b, kSc, c)},  // (b,sc,c) not in graph
+      {Triple(a, kSc, c)}}});
+  Status s = CheckProof(bogus);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(Proof, CheckRejectsInvalidInstantiation) {
+  Dictionary dict;
+  Graph g = Data(&dict, "a sc b .\nb sc c .");
+  Term a = dict.Iri("a");
+  Term b = dict.Iri("b");
+  Term c = dict.Iri("c");
+  Proof bogus;
+  bogus.start = g;
+  bogus.goal = Graph{Triple(c, kSc, a)};
+  bogus.steps.push_back(RuleStep{RuleApplication{
+      RuleId::kScTransitivity,
+      {Triple(a, kSc, b), Triple(b, kSc, c)},
+      {Triple(c, kSc, a)}}});  // wrong conclusion shape
+  EXPECT_FALSE(CheckProof(bogus).ok());
+}
+
+TEST(Proof, CheckRejectsBadMapStep) {
+  Dictionary dict;
+  Graph g = Data(&dict, "a p b .");
+  Graph goal = Data(&dict, "_:X p c .");  // X would need to map onto (.,p,c)
+  Proof bogus;
+  bogus.start = g;
+  bogus.goal = goal;
+  TermMap mu;
+  mu.Bind(dict.Blank("X"), dict.Iri("a"));
+  bogus.steps.push_back(MapStep{mu, goal});  // μ(goal) = (a,p,c) ∉ g
+  EXPECT_FALSE(CheckProof(bogus).ok());
+}
+
+TEST(Proof, CheckRejectsWrongGoal) {
+  Dictionary dict;
+  Graph g = Data(&dict, "a p b .");
+  Proof bogus;
+  bogus.start = g;
+  bogus.goal = Data(&dict, "zz p b .");
+  EXPECT_FALSE(CheckProof(bogus).ok());
+}
+
+TEST(Proof, IdentityProofOfSubgraph) {
+  // A subgraph is proved by a single identity map step.
+  Dictionary dict;
+  Graph g = Data(&dict, "a p b .\nc p d .");
+  Graph sub = Data(&dict, "a p b .");
+  Proof proof;
+  proof.start = g;
+  proof.goal = sub;
+  proof.steps.push_back(MapStep{TermMap(), sub});
+  EXPECT_TRUE(CheckProof(proof).ok());
+}
+
+TEST(Proof, RandomWorkloadsProveTheirClosureTriples) {
+  Dictionary dict;
+  Rng rng(5);
+  SchemaWorkloadSpec spec;
+  spec.num_classes = 4;
+  spec.num_properties = 3;
+  spec.num_instances = 4;
+  spec.num_facts = 6;
+  Graph g = SchemaWorkload(spec, &dict, &rng);
+  Graph cl = RdfsClosure(g);
+  // Prove a handful of derived triples.
+  int proved = 0;
+  for (const Triple& t : cl) {
+    if (g.Contains(t) || proved >= 5) continue;
+    Result<Proof> proof = ProveEntailment(g, Graph{t});
+    ASSERT_TRUE(proof.ok());
+    EXPECT_TRUE(CheckProof(*proof).ok());
+    ++proved;
+  }
+  EXPECT_GT(proved, 0);
+}
+
+}  // namespace
+}  // namespace swdb

@@ -1,0 +1,241 @@
+// Parameterized property tests: each suite sweeps a seed range and
+// checks an invariant from the paper on randomized workloads.
+
+#include <gtest/gtest.h>
+
+#include "cq/cq.h"
+#include "gen/generators.h"
+#include "inference/closure.h"
+#include "model/canonical.h"
+#include "normal/core.h"
+#include "normal/normal_form.h"
+#include "query/answer.h"
+#include "rdf/hom.h"
+#include "rdf/iso.h"
+#include "util/rng.h"
+
+namespace swdb {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Range<uint64_t>(1, 13));
+
+Graph SmallSchema(Dictionary* dict, Rng* rng) {
+  SchemaWorkloadSpec spec;
+  spec.num_classes = 4;
+  spec.num_properties = 3;
+  spec.num_instances = 5;
+  spec.num_facts = 8;
+  spec.blank_instance_ratio = 0.25;
+  return SchemaWorkload(spec, dict, rng);
+}
+
+TEST_P(SeededProperty, ClosureIsSoundAndMonotone) {
+  Dictionary dict;
+  Rng rng(GetParam());
+  Graph g = SmallSchema(&dict, &rng);
+  Graph cl = RdfsClosure(g);
+  // Soundness: G ⊨ cl(G) and cl(G) ⊨ G (equivalence, Def. 2.7).
+  EXPECT_TRUE(RdfsEquivalent(g, cl));
+  // Monotone: adding a triple never shrinks the closure.
+  Graph bigger = g;
+  bigger.Insert(dict.Iri("urn:extra"), dict.Iri("urn:p0"),
+                dict.Iri("urn:extra2"));
+  EXPECT_TRUE(cl.IsSubgraphOf(RdfsClosure(bigger)));
+}
+
+TEST_P(SeededProperty, ClosureAgreesWithNaiveReference) {
+  Dictionary dict;
+  Rng rng(GetParam());
+  Graph g = SmallSchema(&dict, &rng);
+  EXPECT_EQ(RdfsClosure(g), RdfsClosureNaive(g));
+}
+
+TEST_P(SeededProperty, SemanticClosureMatchesDeductive) {
+  // Thm 3.6(2) on randomized workloads.
+  Dictionary dict;
+  Rng rng(GetParam());
+  Graph g = SmallSchema(&dict, &rng);
+  EXPECT_EQ(SemanticClosure(g, &dict), RdfsClosure(g));
+}
+
+TEST_P(SeededProperty, MembershipMatchesMaterializedClosure) {
+  Dictionary dict;
+  Rng rng(GetParam());
+  Graph g = SmallSchema(&dict, &rng);
+  ClosureMembership membership(g);
+  Graph cl = RdfsClosure(g);
+  // Every closure triple is a member; sampled non-closure triples are
+  // not.
+  for (const Triple& t : cl) {
+    EXPECT_TRUE(membership.Contains(t));
+  }
+  std::vector<Term> universe = g.Universe();
+  for (int i = 0; i < 50; ++i) {
+    Term s = universe[rng.Below(universe.size())];
+    Term p = universe[rng.Below(universe.size())];
+    Term o = universe[rng.Below(universe.size())];
+    if (!p.IsIri()) continue;
+    Triple t(s, p, o);
+    EXPECT_EQ(membership.Contains(t), cl.Contains(t));
+  }
+}
+
+TEST_P(SeededProperty, EntailmentHasCanonicalModelWitness) {
+  // Thm 2.6/2.8 round trip: G ⊨ H iff the canonical model of G
+  // satisfies H (checked by the independent model machinery).
+  Dictionary dict;
+  Rng rng(GetParam());
+  Graph g = SmallSchema(&dict, &rng);
+  SchemaWorkloadSpec tiny;
+  tiny.num_classes = 2;
+  tiny.num_properties = 2;
+  tiny.num_instances = 2;
+  tiny.num_facts = 2;
+  Graph h = SchemaWorkload(tiny, &dict, &rng);
+  EXPECT_EQ(RdfsEntails(g, h), SemanticRdfsEntails(g, h, &dict));
+}
+
+TEST_P(SeededProperty, SimpleEntailmentThreeWayAgreement) {
+  // rdf solver == CQ pipeline == term-model semantics.
+  Dictionary dict;
+  Rng rng(GetParam());
+  RandomGraphSpec spec;
+  spec.num_nodes = 7;
+  spec.num_triples = 10;
+  spec.num_predicates = 2;
+  spec.blank_ratio = 0.4;
+  Graph g1 = RandomSimpleGraph(spec, &dict, &rng);
+  spec.num_triples = 4;
+  Graph g2 = RandomSimpleGraph(spec, &dict, &rng);
+  bool solver = SimpleEntails(g1, g2);
+  EXPECT_EQ(solver, CqSimpleEntails(g1, g2));
+  EXPECT_EQ(solver, SemanticSimpleEntails(g1, g2));
+}
+
+TEST_P(SeededProperty, CoreIsLeanEquivalentAndIdempotent) {
+  Dictionary dict;
+  Rng rng(GetParam());
+  RandomGraphSpec spec;
+  spec.num_nodes = 7;
+  spec.num_triples = 11;
+  spec.num_predicates = 2;
+  spec.blank_ratio = 0.6;
+  Graph g = RandomSimpleGraph(spec, &dict, &rng);
+  Graph core = Core(g);
+  EXPECT_TRUE(IsLean(core));
+  EXPECT_TRUE(SimpleEquivalent(core, g));
+  EXPECT_EQ(Core(core), core);
+  EXPECT_TRUE(core.IsSubgraphOf(g));
+}
+
+TEST_P(SeededProperty, EquivalenceIffIsomorphicCores) {
+  // Thm 3.11(2) on random pairs built to be equivalent (blank-renamed
+  // redundant extensions).
+  Dictionary dict;
+  Rng rng(GetParam());
+  RandomGraphSpec spec;
+  spec.num_nodes = 6;
+  spec.num_triples = 8;
+  spec.num_predicates = 2;
+  spec.blank_ratio = 0.5;
+  Graph g = RandomSimpleGraph(spec, &dict, &rng);
+  // Build an equivalent variant: fresh copy + redundant specializations.
+  Graph variant = FreshBlankCopy(g, &dict);
+  for (int i = 0; i < 3 && !variant.empty(); ++i) {
+    Triple t = variant[rng.Below(variant.size())];
+    variant.Insert(Triple(t.s, t.p, dict.FreshBlank()));
+  }
+  ASSERT_TRUE(SimpleEquivalent(g, variant));
+  EXPECT_TRUE(AreIsomorphic(Core(g), Core(variant)));
+  // And a non-equivalent one: add a fresh ground fact.
+  Graph other = g;
+  other.Insert(dict.FreshIri(), dict.Iri("urn:p0"), dict.FreshIri());
+  ASSERT_FALSE(SimpleEquivalent(g, other));
+  EXPECT_FALSE(AreIsomorphic(Core(g), Core(other)));
+}
+
+TEST_P(SeededProperty, NormalFormUniqueAndSyntaxIndependent) {
+  Dictionary dict;
+  Rng rng(GetParam());
+  Graph g = SmallSchema(&dict, &rng);
+  Graph mutated = EquivalentMutation(g, 3, &dict, &rng);
+  ASSERT_TRUE(RdfsEquivalent(g, mutated));
+  EXPECT_TRUE(AreIsomorphic(NormalForm(g), NormalForm(mutated)));
+}
+
+TEST_P(SeededProperty, AnswersInvariantUnderDatabaseEquivalence) {
+  // Thm 4.6 on randomized schema databases and derived queries.
+  Dictionary dict;
+  Rng rng(GetParam());
+  Graph db = SmallSchema(&dict, &rng);
+  Graph equivalent = EquivalentMutation(db, 3, &dict, &rng);
+  ASSERT_TRUE(RdfsEquivalent(db, equivalent));
+  Query q = PatternQueryFromGraph(db, 2, 0.5, &dict, &rng);
+  if (!q.Validate().ok()) GTEST_SKIP();
+  QueryEvaluator eval(&dict);
+  Result<Graph> a1 = eval.AnswerUnion(q, db);
+  Result<Graph> a2 = eval.AnswerUnion(q, equivalent);
+  ASSERT_TRUE(a1.ok() && a2.ok());
+  EXPECT_TRUE(AreIsomorphic(*a1, *a2));
+}
+
+TEST_P(SeededProperty, UnionAnswerEntailsMergeAnswer) {
+  // Prop 4.5(2).
+  Dictionary dict;
+  Rng rng(GetParam());
+  RandomGraphSpec spec;
+  spec.num_nodes = 7;
+  spec.num_triples = 10;
+  spec.num_predicates = 3;
+  spec.blank_ratio = 0.4;
+  Graph db = RandomSimpleGraph(spec, &dict, &rng);
+  Query q = PatternQueryFromGraph(db, 2, 0.6, &dict, &rng);
+  if (!q.Validate().ok()) GTEST_SKIP();
+  QueryEvaluator eval(&dict);
+  Result<Graph> u = eval.AnswerUnion(q, db);
+  Result<Graph> m = eval.AnswerMerge(q, db);
+  ASSERT_TRUE(u.ok() && m.ok());
+  EXPECT_TRUE(RdfsEntails(*u, *m));
+}
+
+TEST_P(SeededProperty, AnswerMonotoneUnderDatabaseEntailment) {
+  // Prop 4.5(1): D' ⊇ D (hence D' ⊨ D) gives ans(q,D') ⊨ ans(q,D).
+  Dictionary dict;
+  Rng rng(GetParam());
+  RandomGraphSpec spec;
+  spec.num_nodes = 6;
+  spec.num_triples = 8;
+  spec.num_predicates = 2;
+  spec.blank_ratio = 0.0;
+  Graph db = RandomSimpleGraph(spec, &dict, &rng);
+  Graph db_bigger = db;
+  spec.num_triples = 4;
+  db_bigger.InsertAll(RandomSimpleGraph(spec, &dict, &rng));
+  Query q = PatternQueryFromGraph(db, 2, 0.5, &dict, &rng);
+  if (!q.Validate().ok()) GTEST_SKIP();
+  QueryEvaluator eval(&dict);
+  Result<Graph> small = eval.AnswerUnion(q, db);
+  Result<Graph> large = eval.AnswerUnion(q, db_bigger);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_TRUE(RdfsEntails(*large, *small));
+}
+
+TEST_P(SeededProperty, ProofsExistExactlyForEntailments) {
+  Dictionary dict;
+  Rng rng(GetParam());
+  Graph g = SmallSchema(&dict, &rng);
+  Graph cl = RdfsClosure(g);
+  // A triple from the closure is provable; a foreign triple is not.
+  if (!cl.empty()) {
+    Triple t = cl[rng.Below(cl.size())];
+    EXPECT_TRUE(RdfsEntails(g, Graph{t}));
+  }
+  Triple foreign(dict.FreshIri(), dict.Iri("urn:p0"), dict.FreshIri());
+  EXPECT_FALSE(RdfsEntails(g, Graph{foreign}));
+}
+
+}  // namespace
+}  // namespace swdb

@@ -1,0 +1,141 @@
+#include "query/query.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/text.h"
+#include "testutil.h"
+
+namespace swdb {
+namespace {
+
+using swdb::testing::Data;
+using swdb::testing::G;
+using swdb::testing::Q;
+
+TEST(QueryValidate, AcceptsWellFormedQuery) {
+  Dictionary dict;
+  Query q = Q(&dict,
+              "head: ?A creates ?Y .\n"
+              "body: ?A type Flemish .\n"
+              "body: ?A paints ?Y .\n"
+              "bind: ?A\n");
+  EXPECT_TRUE(q.Validate().ok());
+  EXPECT_EQ(q.head.size(), 1u);
+  EXPECT_EQ(q.body.size(), 2u);
+  EXPECT_EQ(q.constraints.size(), 1u);
+}
+
+TEST(QueryValidate, RejectsHeadVariableNotInBody) {
+  Dictionary dict;
+  Query q;
+  q.head = G(&dict, "?X p ?Z .");
+  q.body = G(&dict, "?X p ?Y .");
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST(QueryValidate, RejectsBlankInBody) {
+  Dictionary dict;
+  Query q;
+  q.head = G(&dict, "?X p a .");
+  q.body = Graph{Triple(dict.Var("X"), dict.Iri("p"), dict.Blank("B"))};
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST(QueryValidate, AllowsBlankInHead) {
+  // Note 4.2: blank nodes are allowed in heads.
+  Dictionary dict;
+  Query q;
+  q.head = Graph{Triple(dict.Blank("N"), dict.Iri("p"), dict.Var("X"))};
+  q.body = G(&dict, "?X q b .");
+  EXPECT_TRUE(q.Validate().ok()) << q.Validate().ToString();
+}
+
+TEST(QueryValidate, RejectsVariableInPremise) {
+  Dictionary dict;
+  Query q;
+  q.head = G(&dict, "?X p a .");
+  q.body = G(&dict, "?X p a .");
+  q.premise = G(&dict, "?Y q b .");
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST(QueryValidate, RejectsConstraintNotInHead) {
+  Dictionary dict;
+  Query q;
+  q.head = G(&dict, "?X p a .");
+  q.body = G(&dict, "?X p ?Y .");
+  q.constraints.push_back(dict.Var("Y"));  // in body but not head
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST(QueryValidate, IdentityQueryIsValid) {
+  Dictionary dict;
+  Query q = Query::Identity(&dict);
+  EXPECT_TRUE(q.Validate().ok());
+  EXPECT_EQ(q.head, q.body);
+}
+
+TEST(QueryParse, PremiseAndBindSections) {
+  Dictionary dict;
+  Query q = Q(&dict,
+              "head: ?X relative Peter .\n"
+              "body: ?X relative Peter .\n"
+              "premise: son sp relative .\n");
+  EXPECT_EQ(q.premise.size(), 1u);
+  EXPECT_TRUE(
+      q.premise.Contains(Triple(dict.Iri("son"), vocab::kSp,
+                                dict.Iri("relative"))));
+}
+
+TEST(QueryParse, RoundTripThroughFormat) {
+  Dictionary dict;
+  Query q = Q(&dict,
+              "head: ?A creates ?Y .\n"
+              "body: ?A paints ?Y .\n"
+              "body: ?Y exhibited Uffizi .\n"
+              "premise: a b c .\n"
+              "bind: ?A ?Y\n");
+  std::string text = FormatQuery(q, dict);
+  Result<Query> reparsed = ParseQuery(text, &dict);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->head, q.head);
+  EXPECT_EQ(reparsed->body, q.body);
+  EXPECT_EQ(reparsed->premise, q.premise);
+  EXPECT_EQ(reparsed->constraints, q.constraints);
+}
+
+TEST(QueryParse, RejectsUnknownSection) {
+  Dictionary dict;
+  Result<Query> q = ParseQuery("frobnicate: a b c .", &dict);
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kParseError);
+}
+
+TEST(QueryParse, RejectsInvalidQueries) {
+  Dictionary dict;
+  // Head variable missing from body.
+  Result<Query> q = ParseQuery(
+      "head: ?X p ?Z .\n"
+      "body: ?X p b .\n",
+      &dict);
+  EXPECT_FALSE(q.ok());
+}
+
+TEST(FreezeVars, ConsistentAcrossGraphs) {
+  Dictionary dict;
+  Graph body = G(&dict, "?X p ?Y .");
+  Graph head = G(&dict, "?X q ?Y .");
+  TermMap freeze;
+  Graph frozen_body = FreezeVariablesWith(body, &dict, &freeze);
+  Graph frozen_head = FreezeVariablesWith(head, &dict, &freeze);
+  EXPECT_TRUE(frozen_body.Variables().empty());
+  EXPECT_TRUE(frozen_head.Variables().empty());
+  // The same variable froze to the same constant in both graphs.
+  Term fx = freeze.Apply(dict.Var("X"));
+  EXPECT_TRUE(fx.IsIri());
+  EXPECT_EQ(frozen_body.CountMatches(fx, std::nullopt, std::nullopt), 1u);
+  EXPECT_EQ(frozen_head.CountMatches(fx, std::nullopt, std::nullopt), 1u);
+}
+
+}  // namespace
+}  // namespace swdb

@@ -1,0 +1,188 @@
+#include "inference/rules.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace swdb {
+namespace {
+
+using swdb::testing::Data;
+using vocab::kDom;
+using vocab::kRange;
+using vocab::kSc;
+using vocab::kSp;
+using vocab::kType;
+
+class RulesTest : public ::testing::Test {
+ protected:
+  Dictionary dict_;
+  Term a_ = dict_.Iri("a");
+  Term b_ = dict_.Iri("b");
+  Term c_ = dict_.Iri("c");
+  Term p_ = dict_.Iri("p");
+  Term q_ = dict_.Iri("q");
+  Term x_ = dict_.Iri("x");
+  Term y_ = dict_.Iri("y");
+};
+
+TEST_F(RulesTest, ValidateSpTransitivity) {
+  RuleApplication app{RuleId::kSpTransitivity,
+                      {Triple(a_, kSp, b_), Triple(b_, kSp, c_)},
+                      {Triple(a_, kSp, c_)}};
+  EXPECT_TRUE(ValidateApplication(app).ok());
+  app.conclusions[0] = Triple(c_, kSp, a_);
+  EXPECT_FALSE(ValidateApplication(app).ok());
+}
+
+TEST_F(RulesTest, ValidateSpInheritance) {
+  RuleApplication app{RuleId::kSpInheritance,
+                      {Triple(p_, kSp, q_), Triple(x_, p_, y_)},
+                      {Triple(x_, q_, y_)}};
+  EXPECT_TRUE(ValidateApplication(app).ok());
+  // Premise predicate must equal the sp-subject.
+  app.premises[1] = Triple(x_, q_, y_);
+  EXPECT_FALSE(ValidateApplication(app).ok());
+}
+
+TEST_F(RulesTest, ValidateRejectsBlankPredicateInstantiation) {
+  Term blank = dict_.Blank("B");
+  RuleApplication app{RuleId::kSpInheritance,
+                      {Triple(p_, kSp, blank), Triple(x_, p_, y_)},
+                      {Triple(x_, blank, y_)}};
+  EXPECT_FALSE(ValidateApplication(app).ok());
+}
+
+TEST_F(RulesTest, ValidateScTypingShape) {
+  RuleApplication app{RuleId::kScTyping,
+                      {Triple(a_, kSc, b_), Triple(x_, kType, a_)},
+                      {Triple(x_, kType, b_)}};
+  EXPECT_TRUE(ValidateApplication(app).ok());
+  app.conclusions[0] = Triple(x_, kType, a_);
+  EXPECT_FALSE(ValidateApplication(app).ok());
+}
+
+TEST_F(RulesTest, ValidateDomTyping) {
+  RuleApplication app{
+      RuleId::kDomTyping,
+      {Triple(p_, kDom, b_), Triple(q_, kSp, p_), Triple(x_, q_, y_)},
+      {Triple(x_, kType, b_)}};
+  EXPECT_TRUE(ValidateApplication(app).ok());
+  // Conclusion subject must be the use-triple's subject (not object).
+  app.conclusions[0] = Triple(y_, kType, b_);
+  EXPECT_FALSE(ValidateApplication(app).ok());
+}
+
+TEST_F(RulesTest, ValidateRangeTyping) {
+  RuleApplication app{
+      RuleId::kRangeTyping,
+      {Triple(p_, kRange, b_), Triple(q_, kSp, p_), Triple(x_, q_, y_)},
+      {Triple(y_, kType, b_)}};
+  EXPECT_TRUE(ValidateApplication(app).ok());
+  app.conclusions[0] = Triple(x_, kType, b_);
+  EXPECT_FALSE(ValidateApplication(app).ok());
+}
+
+TEST_F(RulesTest, ValidateReflexivityRules) {
+  EXPECT_TRUE(ValidateApplication({RuleId::kSpReflexFromUse,
+                                   {Triple(x_, p_, y_)},
+                                   {Triple(p_, kSp, p_)}})
+                  .ok());
+  EXPECT_TRUE(ValidateApplication(
+                  {RuleId::kSpReflexVocab, {}, {Triple(kType, kSp, kType)}})
+                  .ok());
+  EXPECT_FALSE(ValidateApplication(
+                   {RuleId::kSpReflexVocab, {}, {Triple(p_, kSp, p_)}})
+                   .ok());
+  EXPECT_TRUE(ValidateApplication({RuleId::kSpReflexDomRange,
+                                   {Triple(p_, kDom, b_)},
+                                   {Triple(p_, kSp, p_)}})
+                  .ok());
+  EXPECT_FALSE(ValidateApplication({RuleId::kSpReflexDomRange,
+                                    {Triple(p_, kType, b_)},
+                                    {Triple(p_, kSp, p_)}})
+                   .ok());
+  EXPECT_TRUE(ValidateApplication(
+                  {RuleId::kSpReflexPair,
+                   {Triple(a_, kSp, b_)},
+                   {Triple(a_, kSp, a_), Triple(b_, kSp, b_)}})
+                  .ok());
+  EXPECT_TRUE(ValidateApplication({RuleId::kScReflexFromUse,
+                                   {Triple(x_, kType, b_)},
+                                   {Triple(b_, kSc, b_)}})
+                  .ok());
+  EXPECT_TRUE(ValidateApplication(
+                  {RuleId::kScReflexPair,
+                   {Triple(a_, kSc, b_)},
+                   {Triple(a_, kSc, a_), Triple(b_, kSc, b_)}})
+                  .ok());
+}
+
+TEST_F(RulesTest, RuleNamesAreNumbered) {
+  EXPECT_EQ(RuleName(RuleId::kSpTransitivity).substr(0, 3), "(2)");
+  EXPECT_EQ(RuleName(RuleId::kScReflexPair).substr(0, 4), "(13)");
+}
+
+TEST_F(RulesTest, EnumerateFindsTransitivity) {
+  Graph g{Triple(a_, kSp, b_), Triple(b_, kSp, c_)};
+  std::vector<RuleApplication> apps = EnumerateApplications(g);
+  bool found = false;
+  for (const RuleApplication& app : apps) {
+    EXPECT_TRUE(ValidateApplication(app).ok())
+        << ValidateApplication(app).ToString();
+    if (app.rule == RuleId::kSpTransitivity &&
+        app.conclusions[0] == Triple(a_, kSp, c_)) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(RulesTest, EnumerateSkipsKnownConclusions) {
+  Graph g{Triple(a_, kSp, b_), Triple(b_, kSp, c_), Triple(a_, kSp, c_),
+          Triple(a_, kSp, a_), Triple(b_, kSp, b_), Triple(c_, kSp, c_)};
+  for (const RuleApplication& app : EnumerateApplications(g)) {
+    // Anything enumerated must add at least one new triple.
+    bool adds_new = false;
+    for (const Triple& t : app.conclusions) {
+      if (!g.Contains(t)) adds_new = true;
+    }
+    EXPECT_TRUE(adds_new);
+  }
+}
+
+TEST_F(RulesTest, EnumerateAllApplicationsValidate) {
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "p sp q .\n"
+                 "q dom c .\n"
+                 "c sc d .\n"
+                 "x p y .\n"
+                 "x type c .\n");
+  for (const RuleApplication& app : EnumerateApplications(g)) {
+    EXPECT_TRUE(ValidateApplication(app).ok())
+        << RuleName(app.rule) << ": " << ValidateApplication(app).ToString();
+  }
+}
+
+TEST_F(RulesTest, EnumerateMarinRules) {
+  // Rules (6)/(7) with a blank property (Note 2.4, Marin's fix): the
+  // blank stands for a property; the use triple goes through its
+  // sp-subproperty.
+  Dictionary dict;
+  Term blank = dict.Blank("P");
+  Term d = dict.Iri("d");
+  Graph g{Triple(blank, kDom, d), Triple(p_, kSp, blank), Triple(x_, p_, y_)};
+  bool found = false;
+  for (const RuleApplication& app : EnumerateApplications(g)) {
+    if (app.rule == RuleId::kDomTyping &&
+        app.conclusions[0] == Triple(x_, kType, d)) {
+      found = true;
+      EXPECT_TRUE(ValidateApplication(app).ok());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace swdb

@@ -1,0 +1,136 @@
+#include "sparql/sparql_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "inference/closure.h"
+#include "testutil.h"
+
+namespace swdb {
+namespace {
+
+using swdb::testing::Data;
+
+class SparqlParserTest : public ::testing::Test {
+ protected:
+  Dictionary dict_;
+  Graph db_ = Data(&dict_,
+                   "b1 name paul .\n"
+                   "b2 name george .\n"
+                   "b2 email georgeAtB3 .\n"
+                   "b3 name ringo .\n"
+                   "b3 email ringoAtM .\n"
+                   "b3 web wwwRingo .\n");
+
+  MappingSet Run(const std::string& text) {
+    Result<SparqlQuery> q = ParseSparql(text, &dict_);
+    EXPECT_TRUE(q.ok()) << q.status().ToString() << "\n" << text;
+    if (!q.ok()) return {};
+    Result<MappingSet> rows =
+        EvalSelect(db_, q->pattern, q->select);
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    return rows.ok() ? *rows : MappingSet{};
+  }
+};
+
+TEST_F(SparqlParserTest, BasicSelect) {
+  MappingSet rows = Run("SELECT ?X ?N WHERE { ?X name ?N . }");
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST_F(SparqlParserTest, SelectStarKeepsAllVariables) {
+  MappingSet rows = Run("SELECT * WHERE { ?X name ?N . ?X email ?E . }");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].size(), 3u);
+}
+
+TEST_F(SparqlParserTest, MultiTripleBgpJoins) {
+  MappingSet rows =
+      Run("SELECT ?X WHERE { ?X name ?N . ?X email ?E . }");
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(SparqlParserTest, OptionalKeepsAllNames) {
+  MappingSet rows = Run(
+      "SELECT ?N ?E WHERE { ?X name ?N . OPTIONAL { ?X email ?E . } }");
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST_F(SparqlParserTest, UnionOfGroups) {
+  MappingSet rows = Run(
+      "SELECT ?X WHERE { { ?X email ?E . } UNION { ?X web ?W . } }");
+  EXPECT_EQ(rows.size(), 2u);  // b2 and b3 after projection
+}
+
+TEST_F(SparqlParserTest, FilterBoundAndComparison) {
+  MappingSet without_email = Run(
+      "SELECT ?N WHERE { ?X name ?N . OPTIONAL { ?X email ?E . } "
+      "FILTER ( !bound(?E) ) }");
+  ASSERT_EQ(without_email.size(), 1u);
+  EXPECT_EQ(without_email[0].Apply(dict_.Var("N")), dict_.Iri("paul"));
+
+  MappingSet not_george = Run(
+      "SELECT ?N WHERE { ?X name ?N . FILTER ( ?N != george ) }");
+  EXPECT_EQ(not_george.size(), 2u);
+}
+
+TEST_F(SparqlParserTest, FilterBooleanCombinations) {
+  MappingSet rows = Run(
+      "SELECT ?N WHERE { ?X name ?N . "
+      "FILTER ( ?N = paul || ?N = ringo ) }");
+  EXPECT_EQ(rows.size(), 2u);
+  MappingSet none = Run(
+      "SELECT ?N WHERE { ?X name ?N . "
+      "FILTER ( ?N = paul && ?N = ringo ) }");
+  EXPECT_TRUE(none.empty());
+}
+
+TEST_F(SparqlParserTest, NestedGroupsAndMixedOperators) {
+  MappingSet rows = Run(
+      "SELECT ?X ?N ?E ?W WHERE { "
+      "  ?X name ?N . "
+      "  OPTIONAL { ?X email ?E . ?X web ?W . } "
+      "}");
+  // Only ringo has both email and web; the others keep bare names.
+  ASSERT_EQ(rows.size(), 3u);
+  int extended = 0;
+  for (const Mapping& m : rows) {
+    extended += m.IsBound(dict_.Var("W"));
+  }
+  EXPECT_EQ(extended, 1);
+}
+
+TEST_F(SparqlParserTest, RdfsInferenceThroughClosure) {
+  Dictionary dict;
+  Graph schema = Data(&dict,
+                      "writes sp creates .\n"
+                      "john writes hamlet .\n");
+  Result<SparqlQuery> q =
+      ParseSparql("SELECT ?X WHERE { ?X creates ?W . }", &dict);
+  ASSERT_TRUE(q.ok());
+  Result<MappingSet> rows =
+      EvalSelect(RdfsClosure(schema), q->pattern, q->select);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST_F(SparqlParserTest, ParseErrors) {
+  Dictionary dict;
+  EXPECT_FALSE(ParseSparql("WHERE { ?X p ?Y . }", &dict).ok());
+  EXPECT_FALSE(ParseSparql("SELECT WHERE { ?X p ?Y . }", &dict).ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?X { ?X p ?Y . }", &dict).ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?X WHERE { ?X p ?Y }", &dict).ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?X WHERE { ?X p ?Y .", &dict).ok());
+  EXPECT_FALSE(
+      ParseSparql("SELECT ?X WHERE { FILTER ( bound(q) ) }", &dict).ok());
+  EXPECT_FALSE(
+      ParseSparql("SELECT ?X WHERE { ?X p ?Y . } garbage", &dict).ok());
+}
+
+TEST_F(SparqlParserTest, EmptyGroupGivesOneEmptyMapping) {
+  MappingSet rows = Run("SELECT * WHERE { }");
+  // The empty BGP has exactly the empty mapping as its solution.
+  EXPECT_EQ(rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace swdb

@@ -1,0 +1,235 @@
+#include "sparql/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "inference/closure.h"
+#include "query/answer.h"
+#include "sparql/mapping.h"
+#include "testutil.h"
+
+namespace swdb {
+namespace {
+
+using swdb::testing::Data;
+using swdb::testing::G;
+
+class SparqlTest : public ::testing::Test {
+ protected:
+  Dictionary dict_;
+  // The address-book flavor of [34]'s running example.
+  Graph db_ = Data(&dict_,
+                   "b1 name paul .\n"
+                   "b2 name george .\n"
+                   "b2 email georgeAtB3 .\n"
+                   "b3 name ringo .\n"
+                   "b3 email ringoAtM .\n"
+                   "b3 web wwwRingo .\n");
+
+  SparqlPattern Bgp(const std::string& text) {
+    return SparqlPattern::Bgp(G(&dict_, text));
+  }
+  Term V(const char* name) { return dict_.Var(name); }
+  Term I(const char* name) { return dict_.Iri(name); }
+};
+
+TEST_F(SparqlTest, MappingCompatibility) {
+  Mapping m1;
+  m1.Bind(V("X"), I("a"));
+  Mapping m2;
+  m2.Bind(V("X"), I("a"));
+  m2.Bind(V("Y"), I("b"));
+  Mapping m3;
+  m3.Bind(V("X"), I("c"));
+  EXPECT_TRUE(Compatible(m1, m2));
+  EXPECT_FALSE(Compatible(m2, m3));
+  EXPECT_TRUE(Compatible(m1, Mapping()));  // empty mapping fits anything
+  Mapping merged = MergeMappings(m1, m2);
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST_F(SparqlTest, BgpMatchesLikeQueryEvaluatorMatchings) {
+  SparqlPattern p = Bgp("?X name ?N .");
+  Result<MappingSet> rows = EvalPattern(db_, p);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+TEST_F(SparqlTest, AndJoinsOnSharedVariables) {
+  SparqlPattern p = SparqlPattern::And(Bgp("?X name ?N ."),
+                                       Bgp("?X email ?E ."));
+  Result<MappingSet> rows = EvalPattern(db_, p);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);  // george and ringo have emails
+}
+
+TEST_F(SparqlTest, AndWithDisjointVariablesIsCartesian) {
+  SparqlPattern p = SparqlPattern::And(Bgp("?X name ?N ."),
+                                       Bgp("?Y email ?E ."));
+  Result<MappingSet> rows = EvalPattern(db_, p);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 6u);  // 3 names × 2 emails
+}
+
+TEST_F(SparqlTest, OptionalKeepsUnextendableRows) {
+  SparqlPattern p = SparqlPattern::Optional(Bgp("?X name ?N ."),
+                                            Bgp("?X email ?E ."));
+  Result<MappingSet> rows = EvalPattern(db_, p);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  int with_email = 0;
+  for (const Mapping& m : *rows) {
+    with_email += m.IsBound(V("E"));
+  }
+  EXPECT_EQ(with_email, 2);  // paul survives without an email binding
+}
+
+TEST_F(SparqlTest, UnionCollectsBothSides) {
+  SparqlPattern p = SparqlPattern::Union(Bgp("?X email ?E ."),
+                                         Bgp("?X web ?W ."));
+  Result<MappingSet> rows = EvalPattern(db_, p);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);  // two emails + one web page
+}
+
+TEST_F(SparqlTest, FilterBound) {
+  SparqlPattern p = SparqlPattern::Filter(
+      SparqlPattern::Optional(Bgp("?X name ?N ."), Bgp("?X email ?E .")),
+      FilterExpr::Not(FilterExpr::Bound(V("E"))));
+  Result<MappingSet> rows = EvalPattern(db_, p);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);  // exactly the email-less paul
+  EXPECT_EQ((*rows)[0].Apply(V("N")), I("paul"));
+}
+
+TEST_F(SparqlTest, FilterEqualsConstantAndVariable) {
+  SparqlPattern by_constant = SparqlPattern::Filter(
+      Bgp("?X name ?N ."), FilterExpr::Equals(V("N"), I("ringo")));
+  Result<MappingSet> rows = EvalPattern(db_, by_constant);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].Apply(V("X")), I("b3"));
+
+  // ?X = ?Y across a self-join.
+  SparqlPattern self = SparqlPattern::Filter(
+      SparqlPattern::And(Bgp("?X name ?N ."), Bgp("?Y email ?E .")),
+      FilterExpr::Equals(V("X"), V("Y")));
+  Result<MappingSet> same = EvalPattern(db_, self);
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(same->size(), 2u);
+}
+
+TEST_F(SparqlTest, FilterUnboundComparisonIsFalse) {
+  // ?E unbound in some rows: ?E = x reads false there, and its negation
+  // true.
+  SparqlPattern opt =
+      SparqlPattern::Optional(Bgp("?X name ?N ."), Bgp("?X email ?E ."));
+  SparqlPattern eq = SparqlPattern::Filter(
+      opt, FilterExpr::Equals(V("E"), I("georgeAtB3")));
+  Result<MappingSet> rows = EvalPattern(db_, eq);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST_F(SparqlTest, OptIsNotAssociative) {
+  // [34]'s famous example: ((P1 OPT P2) OPT P3) ≠ (P1 OPT (P2 OPT P3))
+  // with P1 = (?X,name,paul), P2 = (?Y,name,george), P3 = (?X,email,?Z).
+  Dictionary dict;
+  Graph d = Data(&dict,
+                 "B1 name paul .\n"
+                 "B2 name george .\n"
+                 "B2 email georgeAtB3 .\n");
+  auto bgp = [&dict](const std::string& text) {
+    return SparqlPattern::Bgp(*ParseGraph(text, &dict, true));
+  };
+  SparqlPattern p1 = bgp("?X name paul .");
+  SparqlPattern p2 = bgp("?Y name george .");
+  SparqlPattern p3 = bgp("?X email ?Z .");
+
+  Result<MappingSet> left_grouped = EvalPattern(
+      d, SparqlPattern::Optional(SparqlPattern::Optional(p1, p2), p3));
+  Result<MappingSet> right_grouped = EvalPattern(
+      d, SparqlPattern::Optional(p1, SparqlPattern::Optional(p2, p3)));
+  ASSERT_TRUE(left_grouped.ok() && right_grouped.ok());
+
+  // Left grouping: {X=B1} joins {Y=B2}, then P3 (X=B2,...) is
+  // incompatible → {{X=B1, Y=B2}}.
+  ASSERT_EQ(left_grouped->size(), 1u);
+  EXPECT_TRUE((*left_grouped)[0].IsBound(dict.Var("Y")));
+  // Right grouping: (P2 OPT P3) = {{Y=B2, X=B2, Z=…}}, incompatible with
+  // {X=B1} → bare {{X=B1}}.
+  ASSERT_EQ(right_grouped->size(), 1u);
+  EXPECT_FALSE((*right_grouped)[0].IsBound(dict.Var("Y")));
+}
+
+TEST_F(SparqlTest, SelectProjects) {
+  SparqlPattern p = Bgp("?X email ?E .");
+  Result<MappingSet> rows = EvalSelect(db_, p, {V("X")});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  for (const Mapping& m : *rows) {
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_TRUE(m.IsBound(V("X")));
+  }
+}
+
+TEST_F(SparqlTest, ProjectionCanCollapseRows) {
+  // b3 has both email and web; projecting to ?X collapses duplicates.
+  SparqlPattern p = SparqlPattern::Union(Bgp("?X email ?E ."),
+                                         Bgp("?X web ?W ."));
+  Result<MappingSet> rows = EvalSelect(db_, p, {V("X")});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);  // b2, b3
+}
+
+TEST_F(SparqlTest, RdfsAwareEvaluationOverClosure) {
+  Dictionary dict;
+  Graph schema = Data(&dict,
+                      "writes sp creates .\n"
+                      "john writes hamlet .\n");
+  SparqlPattern p =
+      SparqlPattern::Bgp(*ParseGraph("?X creates ?W .", &dict, true));
+  Result<MappingSet> raw = EvalPattern(schema, p);
+  Result<MappingSet> inferred = EvalPattern(RdfsClosure(schema), p);
+  ASSERT_TRUE(raw.ok() && inferred.ok());
+  EXPECT_TRUE(raw->empty());
+  EXPECT_EQ(inferred->size(), 1u);
+}
+
+TEST_F(SparqlTest, ValidationRejectsBlankNodesInBgp) {
+  Dictionary dict;
+  Graph bad{Triple(dict.Blank("B"), dict.Iri("p"), dict.Var("X"))};
+  SparqlPattern p = SparqlPattern::Bgp(bad);
+  EXPECT_FALSE(p.Validate().ok());
+  Result<MappingSet> rows = EvalPattern(Graph(), p);
+  EXPECT_FALSE(rows.ok());
+}
+
+TEST_F(SparqlTest, VariablesCollectsAcrossTree) {
+  SparqlPattern p = SparqlPattern::Optional(
+      Bgp("?X name ?N ."),
+      SparqlPattern::Union(Bgp("?X email ?E ."), Bgp("?X web ?W .")));
+  std::vector<Term> vars = p.Variables();
+  EXPECT_EQ(vars.size(), 4u);
+}
+
+TEST_F(SparqlTest, SetAlgebraOnHandBuiltSets) {
+  Mapping a;
+  a.Bind(V("X"), I("1"));
+  Mapping b;
+  b.Bind(V("Y"), I("2"));
+  Mapping c;
+  c.Bind(V("X"), I("3"));
+  MappingSet s1{a, c};
+  MappingSet s2{b};
+  EXPECT_EQ(JoinSets(s1, s2).size(), 2u);       // both compatible with b
+  EXPECT_EQ(DiffSets(s1, s2).size(), 0u);       // everything extends
+  EXPECT_EQ(LeftJoinSets(s1, s2).size(), 2u);
+  EXPECT_EQ(UnionSets(s1, s1).size(), 2u);      // dedup
+  MappingSet clash{a};
+  MappingSet other{c};
+  EXPECT_EQ(JoinSets(clash, other).size(), 0u);  // X: 1 vs 3
+  EXPECT_EQ(DiffSets(clash, other).size(), 1u);
+}
+
+}  // namespace
+}  // namespace swdb

@@ -1,0 +1,130 @@
+#include "rdf/term.h"
+
+#include <gtest/gtest.h>
+
+namespace swdb {
+namespace {
+
+TEST(Term, KindsAndIds) {
+  Term iri = Term::Iri(42);
+  EXPECT_TRUE(iri.IsIri());
+  EXPECT_FALSE(iri.IsBlank());
+  EXPECT_FALSE(iri.IsVar());
+  EXPECT_TRUE(iri.IsName());
+  EXPECT_EQ(iri.id(), 42u);
+
+  Term blank = Term::Blank(7);
+  EXPECT_TRUE(blank.IsBlank());
+  EXPECT_TRUE(blank.IsName());
+  EXPECT_EQ(blank.id(), 7u);
+
+  Term var = Term::Var(3);
+  EXPECT_TRUE(var.IsVar());
+  EXPECT_FALSE(var.IsName());
+  EXPECT_EQ(var.id(), 3u);
+}
+
+TEST(Term, OrderingGroupsByKind) {
+  // IRIs sort before blanks, blanks before variables (kind is in the
+  // high bits).
+  EXPECT_LT(Term::Iri(1000), Term::Blank(0));
+  EXPECT_LT(Term::Blank(1000), Term::Var(0));
+  EXPECT_LT(Term::Iri(1), Term::Iri(2));
+}
+
+TEST(Term, EqualityRequiresKindAndId) {
+  EXPECT_EQ(Term::Iri(5), Term::Iri(5));
+  EXPECT_NE(Term::Iri(5), Term::Blank(5));
+  EXPECT_NE(Term::Iri(5), Term::Iri(6));
+}
+
+TEST(Vocab, ReservedTermsAreIris) {
+  for (Term v : vocab::kAll) {
+    EXPECT_TRUE(v.IsIri());
+    EXPECT_TRUE(vocab::IsRdfsVocab(v));
+  }
+  EXPECT_FALSE(vocab::IsRdfsVocab(Term::Iri(vocab::kReservedIris)));
+  EXPECT_FALSE(vocab::IsRdfsVocab(Term::Blank(0)));
+}
+
+TEST(Dictionary, ReservedVocabularyIsPreInterned) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Iri("rdfs:subPropertyOf"), vocab::kSp);
+  EXPECT_EQ(dict.Iri("rdfs:subClassOf"), vocab::kSc);
+  EXPECT_EQ(dict.Iri("rdf:type"), vocab::kType);
+  EXPECT_EQ(dict.Iri("rdfs:domain"), vocab::kDom);
+  EXPECT_EQ(dict.Iri("rdfs:range"), vocab::kRange);
+}
+
+TEST(Dictionary, VocabIdsAgreeAcrossDictionaries) {
+  Dictionary d1;
+  Dictionary d2;
+  EXPECT_EQ(d1.Iri("rdf:type"), d2.Iri("rdf:type"));
+}
+
+TEST(Dictionary, InterningIsIdempotent) {
+  Dictionary dict;
+  Term a1 = dict.Iri("urn:a");
+  Term a2 = dict.Iri("urn:a");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, dict.Iri("urn:b"));
+}
+
+TEST(Dictionary, KindsHaveSeparateNamespaces) {
+  Dictionary dict;
+  Term iri = dict.Iri("x");
+  Term blank = dict.Blank("x");
+  Term var = dict.Var("x");
+  EXPECT_NE(iri, blank);
+  EXPECT_NE(blank, var);
+  EXPECT_EQ(dict.Name(iri), "x");
+  EXPECT_EQ(dict.Name(blank), "_:x");
+  EXPECT_EQ(dict.Name(var), "?x");
+}
+
+TEST(Dictionary, FreshBlanksAreDistinct) {
+  Dictionary dict;
+  Term b1 = dict.FreshBlank();
+  Term b2 = dict.FreshBlank();
+  EXPECT_NE(b1, b2);
+  EXPECT_TRUE(b1.IsBlank());
+}
+
+TEST(Dictionary, FreshBlankAvoidsExistingLabels) {
+  Dictionary dict;
+  dict.Blank("g0");
+  Term fresh = dict.FreshBlank();
+  EXPECT_NE(dict.Name(fresh), "_:g0");
+}
+
+TEST(Dictionary, FreshIriIsDistinctAndIri) {
+  Dictionary dict;
+  Term c1 = dict.FreshIri();
+  Term c2 = dict.FreshIri();
+  EXPECT_NE(c1, c2);
+  EXPECT_TRUE(c1.IsIri());
+}
+
+TEST(Dictionary, FindIri) {
+  Dictionary dict;
+  dict.Iri("urn:a");
+  Result<Term> found = dict.FindIri("urn:a");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, dict.Iri("urn:a"));
+  EXPECT_EQ(dict.FindIri("urn:missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Dictionary, CountOf) {
+  Dictionary dict;
+  size_t base = dict.CountOf(TermKind::kIri);
+  EXPECT_EQ(base, vocab::kReservedIris);
+  dict.Iri("urn:a");
+  EXPECT_EQ(dict.CountOf(TermKind::kIri), base + 1);
+  EXPECT_EQ(dict.CountOf(TermKind::kBlank), 0u);
+  dict.FreshBlank();
+  EXPECT_EQ(dict.CountOf(TermKind::kBlank), 1u);
+}
+
+}  // namespace
+}  // namespace swdb

@@ -1,0 +1,42 @@
+#ifndef SWDB_TESTS_TESTUTIL_H_
+#define SWDB_TESTS_TESTUTIL_H_
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "parser/text.h"
+#include "query/query.h"
+#include "rdf/graph.h"
+#include "rdf/term.h"
+
+namespace swdb::testing {
+
+/// Parses a graph literal, failing the test on parse errors. Variables
+/// allowed so the same helper builds pattern graphs.
+inline Graph G(Dictionary* dict, const std::string& text) {
+  Result<Graph> g = ParseGraph(text, dict, /*allow_vars=*/true);
+  EXPECT_TRUE(g.ok()) << g.status().ToString() << "\nwhile parsing:\n"
+                      << text;
+  return g.ok() ? *g : Graph();
+}
+
+/// Parses a data graph (variables rejected).
+inline Graph Data(Dictionary* dict, const std::string& text) {
+  Result<Graph> g = ParseGraph(text, dict, /*allow_vars=*/false);
+  EXPECT_TRUE(g.ok()) << g.status().ToString() << "\nwhile parsing:\n"
+                      << text;
+  return g.ok() ? *g : Graph();
+}
+
+/// Parses a query literal, failing the test on errors.
+inline Query Q(Dictionary* dict, const std::string& text) {
+  Result<Query> q = ParseQuery(text, dict);
+  EXPECT_TRUE(q.ok()) << q.status().ToString() << "\nwhile parsing:\n"
+                      << text;
+  return q.ok() ? *q : Query();
+}
+
+}  // namespace swdb::testing
+
+#endif  // SWDB_TESTS_TESTUTIL_H_

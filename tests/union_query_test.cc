@@ -1,0 +1,117 @@
+#include "query/union_query.h"
+
+#include <gtest/gtest.h>
+
+#include "query/containment.h"
+#include "testutil.h"
+
+namespace swdb {
+namespace {
+
+using swdb::testing::Data;
+using swdb::testing::Q;
+
+TEST(UnionQuery, AnswerIsUnionOfBranchAnswers) {
+  Dictionary dict;
+  Graph db = Data(&dict, "a p b .\nc q d .");
+  UnionQuery u;
+  u.branches.push_back(Q(&dict,
+                         "head: ?X r1 ?Y .\n"
+                         "body: ?X p ?Y .\n"));
+  u.branches.push_back(Q(&dict,
+                         "head: ?X r2 ?Y .\n"
+                         "body: ?X q ?Y .\n"));
+  QueryEvaluator eval(&dict);
+  Result<Graph> ans = AnswerUnionQuery(&eval, u, db);
+  ASSERT_TRUE(ans.ok());
+  EXPECT_TRUE(ans->Contains(
+      Triple(dict.Iri("a"), dict.Iri("r1"), dict.Iri("b"))));
+  EXPECT_TRUE(ans->Contains(
+      Triple(dict.Iri("c"), dict.Iri("r2"), dict.Iri("d"))));
+}
+
+TEST(UnionQuery, FromPremiseQueryMatchesDirectEvaluation) {
+  // A UnionQuery built via Prop 5.9 answers like the original premise
+  // query on ground databases.
+  Dictionary dict;
+  Query q = Q(&dict,
+              "head: ?X p ?Y .\n"
+              "body: ?X q ?Y .\nbody: ?Y t s .\n"
+              "premise: a t s .\n");
+  Result<UnionQuery> u = UnionQuery::FromPremiseQuery(q);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->branches.size(), 2u);
+  Graph db = Data(&dict, "n1 q a .\nn2 q m .\nm t s .");
+  QueryEvaluator eval(&dict);
+  Result<Graph> direct = eval.AnswerUnion(q, db);
+  Result<Graph> expanded = AnswerUnionQuery(&eval, *u, db);
+  ASSERT_TRUE(direct.ok() && expanded.ok());
+  EXPECT_EQ(*direct, *expanded);
+}
+
+TEST(UnionQuery, PreAnswersAreDeduplicated) {
+  Dictionary dict;
+  Graph db = Data(&dict, "a p b .");
+  Query same = Q(&dict,
+                 "head: ?X r ?Y .\n"
+                 "body: ?X p ?Y .\n");
+  UnionQuery u;
+  u.branches.push_back(same);
+  u.branches.push_back(same);
+  QueryEvaluator eval(&dict);
+  Result<std::vector<Graph>> pre = PreAnswerUnionQuery(&eval, u, db);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_EQ(pre->size(), 1u);
+}
+
+TEST(UnionQuery, Prop511ContainmentNeedsAllBranches) {
+  Dictionary dict;
+  Query narrow = Q(&dict,
+                   "head: ?X sel ?Y .\n"
+                   "body: ?X p ?Y .\nbody: ?Y t s .\n");
+  Query other = Q(&dict,
+                  "head: ?X sel ?Y .\n"
+                  "body: ?X q ?Y .\n");
+  Query broad = Q(&dict,
+                  "head: ?X sel ?Y .\n"
+                  "body: ?X p ?Y .\n");
+  // narrow ⊑ broad, but (narrow ∪ other) ⋢ broad.
+  UnionQuery just_narrow = UnionQuery::Of(narrow);
+  UnionQuery both;
+  both.branches = {narrow, other};
+  Result<bool> one =
+      UnionContainedStandardSimple(just_narrow, broad, &dict);
+  Result<bool> two = UnionContainedStandardSimple(both, broad, &dict);
+  ASSERT_TRUE(one.ok() && two.ok());
+  EXPECT_TRUE(*one);
+  EXPECT_FALSE(*two);
+}
+
+TEST(UnionQuery, EntailmentVariantAgreesOnSimpleBranches) {
+  Dictionary dict;
+  Query narrow = Q(&dict,
+                   "head: ?X sel ?Y .\n"
+                   "body: ?X p ?Y .\nbody: ?Y t s .\n");
+  Query broad = Q(&dict,
+                  "head: ?X sel ?Y .\n"
+                  "body: ?X p ?Y .\n");
+  UnionQuery u = UnionQuery::Of(narrow);
+  Result<bool> m = UnionContainedEntailmentSimple(u, broad, &dict);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(*m);
+}
+
+TEST(UnionQuery, ValidateChecksEveryBranch) {
+  Dictionary dict;
+  UnionQuery u;
+  u.branches.push_back(Q(&dict,
+                         "head: ?X r ?Y .\n"
+                         "body: ?X p ?Y .\n"));
+  Query bad;
+  bad.head = Graph{Triple(dict.Var("Z"), dict.Iri("r"), dict.Iri("a"))};
+  u.branches.push_back(bad);  // head var not in body
+  EXPECT_FALSE(u.Validate().ok());
+}
+
+}  // namespace
+}  // namespace swdb
