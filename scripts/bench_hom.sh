@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds and runs the homomorphism-kernel benchmark (E13) and writes the
+# results to BENCH_hom.json at the repo root.
+#
+# Usage: scripts/bench_hom.sh [build-dir] [extra benchmark args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+
+cmake -B "$build_dir" -S "$repo_root" >/dev/null
+cmake --build "$build_dir" -j --target bench_hom
+
+"$build_dir/bench/bench_hom" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.2 \
+  "$@" > "$repo_root/BENCH_hom.json"
+
+echo "wrote $repo_root/BENCH_hom.json"

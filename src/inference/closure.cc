@@ -5,6 +5,7 @@
 #include <deque>
 
 #include "rdf/hom.h"
+#include "util/check.h"
 
 namespace swdb {
 
@@ -513,9 +514,18 @@ bool ClosureMembership::DirectContains(const Triple& t) const {
   return found;
 }
 
-bool RdfsEntails(const Graph& g1, const Graph& g2) {
+Result<bool> TryRdfsEntails(const Graph& g1, const Graph& g2,
+                            MatchOptions options) {
   Graph closure = RdfsClosure(g1);
-  return HasHomomorphism(g2, closure);
+  return TryHasHomomorphism(g2, closure, options);
+}
+
+bool RdfsEntails(const Graph& g1, const Graph& g2) {
+  Result<bool> r = TryRdfsEntails(g1, g2);
+  SWDB_CHECK(r.ok(),
+             "RDFS-entailment step budget exhausted; use TryRdfsEntails "
+             "with explicit MatchOptions for graceful degradation");
+  return *r;
 }
 
 bool RdfsEquivalent(const Graph& g1, const Graph& g2) {

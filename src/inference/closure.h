@@ -8,6 +8,7 @@
 
 #include "inference/rules.h"
 #include "rdf/graph.h"
+#include "rdf/hom.h"
 #include "rdf/map.h"
 #include "rdf/term.h"
 
@@ -105,8 +106,14 @@ class ClosureMembership {
   std::optional<Graph> materialized_;
 };
 
-/// RDFS entailment g1 ⊨ g2, characterized by the existence of a map
-/// g2 → RDFS-cl(g1) (paper Thm 2.8(1)).
+/// Budget-aware RDFS entailment g1 ⊨ g2, characterized by the existence
+/// of a map g2 → RDFS-cl(g1) (paper Thm 2.8(1)). Returns kLimitExceeded
+/// instead of aborting when the matcher's step budget is exhausted.
+Result<bool> TryRdfsEntails(const Graph& g1, const Graph& g2,
+                            MatchOptions options = MatchOptions());
+
+/// RDFS entailment g1 ⊨ g2. Thin shim over TryRdfsEntails that asserts
+/// the step budget was not exhausted.
 bool RdfsEntails(const Graph& g1, const Graph& g2);
 
 /// RDFS equivalence: entailment in both directions (paper §2.3.1).

@@ -40,7 +40,8 @@ Status CheckProof(const Proof& proof) {
   return Status::OK();
 }
 
-Result<Proof> ProveEntailment(const Graph& g1, const Graph& g2) {
+Result<Proof> ProveEntailment(const Graph& g1, const Graph& g2,
+                              MatchOptions options) {
   Proof proof;
   proof.start = g1;
   proof.goal = g2;
@@ -48,7 +49,7 @@ Result<Proof> ProveEntailment(const Graph& g1, const Graph& g2) {
   std::vector<RuleApplication> trace;
   Graph closure = RdfsClosure(g1, &trace);
 
-  Result<std::optional<TermMap>> hom = FindHomomorphism(g2, closure);
+  Result<std::optional<TermMap>> hom = FindHomomorphism(g2, closure, options);
   if (!hom.ok()) return hom.status();
   if (!hom->has_value()) {
     return Status::NotFound("g1 does not entail g2: no map into RDFS-cl(g1)");

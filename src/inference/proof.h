@@ -6,6 +6,7 @@
 
 #include "inference/rules.h"
 #include "rdf/graph.h"
+#include "rdf/hom.h"
 #include "rdf/map.h"
 #include "util/status.h"
 
@@ -44,8 +45,10 @@ Status CheckProof(const Proof& proof);
 /// Constructs a proof of g2 from g1, or NotFound if g1 ⊭ g2. The proof
 /// has the canonical shape from the proof of Thm 2.10: the rule steps of
 /// the closure computation RDFS-cl(g1), followed by one map step
-/// μ : g2 → RDFS-cl(g1).
-Result<Proof> ProveEntailment(const Graph& g1, const Graph& g2);
+/// μ : g2 → RDFS-cl(g1). The map search honours `options` (budget,
+/// stats); kLimitExceeded propagates to the caller.
+Result<Proof> ProveEntailment(const Graph& g1, const Graph& g2,
+                              MatchOptions options = MatchOptions());
 
 }  // namespace swdb
 

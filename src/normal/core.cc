@@ -54,10 +54,11 @@ Result<std::optional<TermMap>> FindProperEndomorphism(const Graph& g,
   // to t's blank-connected component.
   bool budget_hit = false;
   for (const std::vector<Triple>& component : BlankComponents(g)) {
+    // One compiled matcher per component; only the excluded triple
+    // changes between probes.
+    PatternMatcher matcher(component, &g, options);
     for (const Triple& t : component) {
-      MatchOptions probe = options;
-      probe.exclude_triple = t;
-      PatternMatcher matcher(component, &g, probe);
+      matcher.set_exclude_triple(t);
       Result<std::optional<TermMap>> r = matcher.FindAny();
       if (!r.ok()) {
         budget_hit = true;

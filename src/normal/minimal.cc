@@ -6,6 +6,7 @@
 
 #include "inference/closure.h"
 #include "rdf/hom.h"
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace swdb {
@@ -60,9 +61,18 @@ bool PredicateDigraphHasCycle(const Graph& g, Term predicate) {
 }
 
 // G' ⊆ G is equivalent to G iff G' ⊨ G (the other direction holds for
-// every subgraph).
-bool SubgraphStillEquivalent(const Graph& subgraph, const Graph& g) {
-  return RdfsEntails(subgraph, g);
+// every subgraph), i.e. iff G maps into RDFS-cl(G'). The matcher holds
+// the compiled pattern G and is re-pointed at each candidate's closure,
+// so the pattern is compiled once per minimization, not once per probe.
+bool SubgraphStillEquivalent(PatternMatcher* g_matcher,
+                             const Graph& subgraph) {
+  Graph closure = RdfsClosure(subgraph);
+  g_matcher->set_target(&closure);
+  Result<std::optional<TermMap>> r = g_matcher->FindAny();
+  SWDB_CHECK(r.ok(),
+             "minimal-representation entailment budget exhausted; raise "
+             "MatchOptions::max_steps");
+  return r->has_value();
 }
 
 }  // namespace
@@ -78,10 +88,11 @@ Graph MinimalRepresentation(const Graph& g, uint64_t order_seed) {
   rng.Shuffle(&order);
 
   Graph current = g;
+  PatternMatcher g_matcher(g, &g);
   for (const Triple& t : order) {
     Graph without = current;
     without.Erase(t);
-    if (SubgraphStillEquivalent(without, g)) {
+    if (SubgraphStillEquivalent(&g_matcher, without)) {
       current = std::move(without);
     }
   }
@@ -94,6 +105,7 @@ std::vector<Graph> AllMinimumRepresentations(const Graph& g) {
   const size_t n = triples.size();
   size_t best = n + 1;
   std::vector<Graph> result;
+  PatternMatcher g_matcher(g, &g);
   for (uint64_t mask = 0; mask < (1ULL << n); ++mask) {
     size_t bits = static_cast<size_t>(__builtin_popcountll(mask));
     if (bits > best) continue;
@@ -103,7 +115,7 @@ std::vector<Graph> AllMinimumRepresentations(const Graph& g) {
       if (mask & (1ULL << i)) subset.push_back(triples[i]);
     }
     Graph candidate(std::move(subset));
-    if (!SubgraphStillEquivalent(candidate, g)) continue;
+    if (!SubgraphStillEquivalent(&g_matcher, candidate)) continue;
     if (bits < best) {
       best = bits;
       result.clear();

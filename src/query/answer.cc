@@ -39,7 +39,7 @@ Result<std::vector<Graph>> QueryEvaluator::PreAnswerPrenormalized(
   std::vector<Term> body_vars = q.body.Variables();
 
   std::vector<Graph> answers;
-  PatternMatcher matcher(q.body.triples(), &target, options_.match);
+  PatternMatcher matcher(q.body, &target, options_.match);
   Status status = matcher.Enumerate([&](const TermMap& v) {
     // Constraints: every constrained variable bound to a non-blank.
     for (Term c : q.constraints) {
@@ -89,7 +89,7 @@ Result<std::vector<TermMap>> QueryEvaluator::Matchings(const Query& q,
   std::vector<Term> body_vars = q.body.Variables();
 
   std::vector<TermMap> matchings;
-  PatternMatcher matcher(q.body.triples(), &target, options_.match);
+  PatternMatcher matcher(q.body, &target, options_.match);
   Status status = matcher.Enumerate([&](const TermMap& v) {
     for (Term c : q.constraints) {
       if (v.Apply(c).IsBlank()) return true;

@@ -50,7 +50,7 @@ Result<bool> TestAgainstTarget(const Query& q_prime, const Graph& target,
                                bool uninterpreted_vocab = false) {
   bool contained = false;
   Graph head_union;
-  PatternMatcher matcher(q_prime.body.triples(), &target, options);
+  PatternMatcher matcher(q_prime.body, &target, options);
   Status status = matcher.Enumerate([&](const TermMap& theta) {
     if (!ConstraintsCarried(theta, q_prime, left)) return true;
     Graph mapped_head = theta.Apply(q_prime.head);

@@ -39,11 +39,12 @@ Result<bool> IsMergeAnswerLean(const std::vector<Graph>& single_answers,
   // components, the merge is non-lean iff some single answer G_k has a
   // non-ground triple t and a map G_k → A \ {t}.
   for (const Graph& g : single_answers) {
+    // One compiled matcher per answer against the shared merge; the
+    // exclude_triple option probes A \ {t} without copying the target.
+    PatternMatcher matcher(g, &merged, options);
     for (const Triple& t : g) {
       if (t.IsGround()) continue;
-      Graph target = merged;
-      target.Erase(t);
-      PatternMatcher matcher(g.triples(), &target, options);
+      matcher.set_exclude_triple(t);
       Result<std::optional<TermMap>> hom = matcher.FindAny();
       if (!hom.ok()) return hom.status();
       if (hom->has_value()) return false;  // proper endomorphism exists
@@ -65,7 +66,7 @@ Result<std::vector<Graph>> EliminateMergeRedundancy(
       for (size_t j = 0; j < single_answers.size(); ++j) {
         if (j != k) rest.InsertAll(single_answers[j]);
       }
-      PatternMatcher matcher(single_answers[k].triples(), &rest, options);
+      PatternMatcher matcher(single_answers[k], &rest, options);
       Result<std::optional<TermMap>> hom = matcher.FindAny();
       if (!hom.ok()) return hom.status();
       if (hom->has_value()) {

@@ -4,6 +4,22 @@
 
 namespace swdb {
 
+const char* IndexOrderName(IndexOrder order) {
+  switch (order) {
+    case IndexOrder::kSpo:
+      return "spo";
+    case IndexOrder::kPso:
+      return "pso";
+    case IndexOrder::kPos:
+      return "pos";
+    case IndexOrder::kOsp:
+      return "osp";
+    case IndexOrder::kFullScan:
+      return "scan";
+  }
+  return "?";
+}
+
 Graph::Graph(std::initializer_list<Triple> triples)
     : triples_(triples) {
   Normalize();
@@ -127,7 +143,8 @@ void Graph::EnsureIndexes() const {
   const size_t n = triples_.size();
   pso_.resize(n);
   pos_.resize(n);
-  for (uint32_t i = 0; i < n; ++i) pso_[i] = pos_[i] = i;
+  osp_.resize(n);
+  for (uint32_t i = 0; i < n; ++i) pso_[i] = pos_[i] = osp_[i] = i;
   std::sort(pso_.begin(), pso_.end(), [this](uint32_t a, uint32_t b) {
     const Triple& x = triples_[a];
     const Triple& y = triples_[b];
@@ -142,17 +159,121 @@ void Graph::EnsureIndexes() const {
     if (x.o != y.o) return x.o < y.o;
     return x.s < y.s;
   });
+  std::sort(osp_.begin(), osp_.end(), [this](uint32_t a, uint32_t b) {
+    const Triple& x = triples_[a];
+    const Triple& y = triples_[b];
+    if (x.o != y.o) return x.o < y.o;
+    if (x.s != y.s) return x.s < y.s;
+    return x.p < y.p;
+  });
   indexes_valid_ = true;
 }
 
-size_t Graph::CountMatches(std::optional<Term> s, std::optional<Term> p,
-                           std::optional<Term> o) const {
-  size_t count = 0;
-  Match(s, p, o, [&count](const Triple&) {
-    ++count;
-    return true;
-  });
-  return count;
+namespace {
+
+// Projects a triple onto the key positions of each index order. A key is
+// the (up to two) leading positions of the order that are bound; unbound
+// trailing positions compare as "match everything" via prefix keys.
+struct Key2 {
+  Term first;
+  bool has_second;
+  Term second;
+};
+
+// Lexicographic comparison of an order's leading positions against a
+// one-or-two-term prefix key; usable from std::equal_range (called with
+// (elem, key) and (key, elem)).
+template <typename Project>
+struct PrefixCmp {
+  Project project;  // Triple -> std::pair<Term, Term> in index order
+  Key2 key;
+
+  bool operator()(const Triple& t, int) const {  // elem < key
+    auto [a, b] = project(t);
+    if (a != key.first) return a < key.first;
+    return key.has_second && b < key.second;
+  }
+  bool operator()(int, const Triple& t) const {  // key < elem
+    auto [a, b] = project(t);
+    if (a != key.first) return key.first < a;
+    return key.has_second && key.second < b;
+  }
+};
+
+}  // namespace
+
+MatchRange Graph::Matches(std::optional<Term> s, std::optional<Term> p,
+                          std::optional<Term> o) const {
+  const Triple* base = triples_.data();
+  const Triple* last = base + triples_.size();
+
+  // Equal-range over a permutation vector, comparing the projected
+  // leading positions of the order against a prefix key.
+  auto perm_range = [&](const std::vector<uint32_t>& perm, auto project,
+                        Key2 key, IndexOrder order) {
+    PrefixCmp<decltype(project)> below{project, key};
+    auto lo = std::lower_bound(
+        perm.begin(), perm.end(), 0,
+        [&](uint32_t i, int k) { return below(triples_[i], k); });
+    auto hi = std::upper_bound(
+        lo, perm.end(), 0,
+        [&](int k, uint32_t i) { return below(k, triples_[i]); });
+    return MatchRange::Permuted(base, perm.data() + (lo - perm.begin()),
+                                perm.data() + (hi - perm.begin()), order);
+  };
+
+  if (s) {
+    if (p && o) {
+      // Fully bound: a zero- or one-element run in the primary order.
+      Triple key(*s, *p, *o);
+      auto [lo, hi] = std::equal_range(triples_.begin(), triples_.end(), key);
+      return MatchRange::Direct(base + (lo - triples_.begin()),
+                                base + (hi - triples_.begin()),
+                                IndexOrder::kSpo);
+    }
+    if (o) {
+      // (s, *, o): contiguous under (o,s,p).
+      EnsureIndexes();
+      return perm_range(
+          osp_,
+          [](const Triple& t) { return std::pair<Term, Term>(t.o, t.s); },
+          Key2{*o, true, *s}, IndexOrder::kOsp);
+    }
+    // (s) or (s, p): prefix runs of the primary (s,p,o) order.
+    Key2 key{*s, p.has_value(), p.value_or(Term())};
+    PrefixCmp<std::pair<Term, Term> (*)(const Triple&)> below{
+        [](const Triple& t) { return std::pair<Term, Term>(t.s, t.p); }, key};
+    auto lo = std::lower_bound(
+        triples_.begin(), triples_.end(), 0,
+        [&](const Triple& t, int k) { return below(t, k); });
+    auto hi = std::upper_bound(
+        lo, triples_.end(), 0,
+        [&](int k, const Triple& t) { return below(k, t); });
+    return MatchRange::Direct(base + (lo - triples_.begin()),
+                              base + (hi - triples_.begin()),
+                              IndexOrder::kSpo);
+  }
+  if (p) {
+    EnsureIndexes();
+    if (o) {
+      return perm_range(
+          pos_,
+          [](const Triple& t) { return std::pair<Term, Term>(t.p, t.o); },
+          Key2{*p, true, *o}, IndexOrder::kPos);
+    }
+    return perm_range(
+        pso_,
+        [](const Triple& t) { return std::pair<Term, Term>(t.p, t.s); },
+        Key2{*p, false, Term()}, IndexOrder::kPso);
+  }
+  if (o) {
+    EnsureIndexes();
+    return perm_range(
+        osp_,
+        [](const Triple& t) { return std::pair<Term, Term>(t.o, t.s); },
+        Key2{*o, false, Term()}, IndexOrder::kOsp);
+  }
+  return MatchRange::Direct(base, last, IndexOrder::kFullScan);
 }
 
 }  // namespace swdb

@@ -1,6 +1,7 @@
 #ifndef SWDB_RDF_GRAPH_H_
 #define SWDB_RDF_GRAPH_H_
 
+#include <cstdint>
 #include <initializer_list>
 #include <optional>
 #include <string>
@@ -12,11 +13,120 @@
 
 namespace swdb {
 
+/// The physical order that served a triple-pattern lookup. The graph
+/// keeps the primary (s,p,o) vector plus three lazily built permutations
+/// so that *every* combination of bound positions resolves to one
+/// contiguous index range (no post-filtering):
+///
+///   bound positions          order        range key
+///   s / s,p / s,p,o          kSpo         prefix of (s,p,o)
+///   p                        kPso         prefix of (p,s,o)
+///   p,o                      kPos         prefix of (p,o,s)
+///   o / o,s                  kOsp         prefix of (o,s,p)
+///   (none)                   kFullScan    all triples
+enum class IndexOrder : uint8_t {
+  kSpo = 0,
+  kPso = 1,
+  kPos = 2,
+  kOsp = 3,
+  kFullScan = 4,
+};
+inline constexpr size_t kNumIndexOrders = 5;
+
+/// Short name of an index order ("spo", "pso", "pos", "osp", "scan").
+const char* IndexOrderName(IndexOrder order);
+
+/// A resolved, contiguous range of triples matching a pattern — the
+/// equal_range analogue of Graph::Match. Iterating a MatchRange touches
+/// no heap and performs no comparisons: every element is a match. The
+/// range stays valid until the graph is mutated.
+class MatchRange {
+ public:
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Triple;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Triple*;
+    using reference = const Triple&;
+
+    const Triple& operator*() const { return ids_ ? base_[*ids_] : *direct_; }
+    const Triple* operator->() const { return &**this; }
+    const_iterator& operator++() {
+      if (ids_) {
+        ++ids_;
+      } else {
+        ++direct_;
+      }
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const {
+      return direct_ == o.direct_ && ids_ == o.ids_;
+    }
+    bool operator!=(const const_iterator& o) const { return !(*this == o); }
+
+   private:
+    friend class MatchRange;
+    const_iterator(const Triple* base, const Triple* direct,
+                   const uint32_t* ids)
+        : base_(base), direct_(direct), ids_(ids) {}
+
+    const Triple* base_;    // permutation base (id mode)
+    const Triple* direct_;  // current element (direct mode)
+    const uint32_t* ids_;   // current id (id mode), nullptr in direct mode
+  };
+
+  MatchRange() = default;
+
+  /// A run [first, last) directly inside the primary triple vector.
+  static MatchRange Direct(const Triple* first, const Triple* last,
+                           IndexOrder order) {
+    MatchRange r;
+    r.direct_first_ = first;
+    r.direct_last_ = last;
+    r.order_ = order;
+    return r;
+  }
+
+  /// A run [first, last) of indices into `base` (a permutation slice).
+  static MatchRange Permuted(const Triple* base, const uint32_t* first,
+                             const uint32_t* last, IndexOrder order) {
+    MatchRange r;
+    r.base_ = base;
+    r.ids_first_ = first;
+    r.ids_last_ = last;
+    r.order_ = order;
+    return r;
+  }
+
+  size_t size() const {
+    return ids_first_ ? static_cast<size_t>(ids_last_ - ids_first_)
+                      : static_cast<size_t>(direct_last_ - direct_first_);
+  }
+  bool empty() const { return size() == 0; }
+  IndexOrder order() const { return order_; }
+
+  const_iterator begin() const {
+    return const_iterator(base_, direct_first_, ids_first_);
+  }
+  const_iterator end() const {
+    return const_iterator(base_, direct_last_, ids_last_);
+  }
+
+ private:
+  const Triple* base_ = nullptr;
+  const Triple* direct_first_ = nullptr;
+  const Triple* direct_last_ = nullptr;
+  const uint32_t* ids_first_ = nullptr;
+  const uint32_t* ids_last_ = nullptr;
+  IndexOrder order_ = IndexOrder::kFullScan;
+};
+
 /// An RDF graph: a finite set of RDF triples (paper Def. 2.1).
 ///
 /// Triples are kept in a sorted, deduplicated vector in (s, p, o) order.
-/// Two auxiliary permutations in (p, s, o) and (p, o, s) order are built
-/// lazily to serve the pattern-matching queries issued by the
+/// Three auxiliary permutations in (p,s,o), (p,o,s) and (o,s,p) order are
+/// built lazily to serve the pattern-matching queries issued by the
 /// homomorphism solver and the closure fixpoint; any mutation invalidates
 /// them.
 ///
@@ -75,16 +185,30 @@ class Graph {
   /// Set-theoretic union G1 ∪ G2 (paper §2.1; blank nodes shared).
   static Graph Union(const Graph& g1, const Graph& g2);
 
+  /// Resolves a pattern (wildcard = std::nullopt) to the contiguous index
+  /// range holding exactly its matches, in O(log |G|). The range is
+  /// invalidated by any mutation of the graph.
+  MatchRange Matches(std::optional<Term> s, std::optional<Term> p,
+                     std::optional<Term> o) const;
+
   /// Matches a pattern triple against the graph. Wildcard = std::nullopt.
   /// Invokes visitor for every matching triple; stops early (returning
   /// false) if the visitor returns false. Returns false iff stopped early.
   template <typename Visitor>
   bool Match(std::optional<Term> s, std::optional<Term> p,
-             std::optional<Term> o, Visitor&& visitor) const;
+             std::optional<Term> o, Visitor&& visitor) const {
+    for (const Triple& t : Matches(s, p, o)) {
+      if (!visitor(t)) return false;
+    }
+    return true;
+  }
 
-  /// Number of triples matching the given pattern.
+  /// Number of triples matching the given pattern. O(log |G|): the size
+  /// of the resolved index range, with no scan.
   size_t CountMatches(std::optional<Term> s, std::optional<Term> p,
-                      std::optional<Term> o) const;
+                      std::optional<Term> o) const {
+    return Matches(s, p, o).size();
+  }
 
  private:
   void Normalize();
@@ -97,63 +221,8 @@ class Graph {
   mutable bool indexes_valid_ = false;
   mutable std::vector<uint32_t> pso_;  // sorted by (p,s,o)
   mutable std::vector<uint32_t> pos_;  // sorted by (p,o,s)
+  mutable std::vector<uint32_t> osp_;  // sorted by (o,s,p)
 };
-
-// ---------------------------------------------------------------------------
-// Inline/template implementation.
-
-template <typename Visitor>
-bool Graph::Match(std::optional<Term> s, std::optional<Term> p,
-                  std::optional<Term> o, Visitor&& visitor) const {
-  auto emit = [&](const Triple& t) -> bool {
-    if (s && t.s != *s) return true;
-    if (p && t.p != *p) return true;
-    if (o && t.o != *o) return true;
-    return visitor(t);
-  };
-  if (s) {
-    // spo order: binary search on subject.
-    auto lo = std::lower_bound(
-        triples_.begin(), triples_.end(), *s,
-        [](const Triple& t, const Term& key) { return t.s < key; });
-    for (auto it = lo; it != triples_.end() && it->s == *s; ++it) {
-      if (p && it->p != *p) {
-        if (it->p > *p) break;  // spo order is sorted by p within s
-        continue;
-      }
-      if (!emit(*it)) return false;
-    }
-    return true;
-  }
-  if (p) {
-    EnsureIndexes();
-    const std::vector<uint32_t>& perm = o ? pos_ : pso_;
-    auto lo = std::lower_bound(
-        perm.begin(), perm.end(), *p,
-        [this](uint32_t i, const Term& key) { return triples_[i].p < key; });
-    for (auto it = lo; it != perm.end() && triples_[*it].p == *p; ++it) {
-      const Triple& t = triples_[*it];
-      if (o && t.o != *o) {
-        if (t.o > *o) break;  // pos order is sorted by o within p
-        continue;
-      }
-      if (!emit(t)) return false;
-    }
-    return true;
-  }
-  if (o) {
-    EnsureIndexes();
-    // No o-first index; scan pos_ fully (rare pattern).
-    for (uint32_t i : pos_) {
-      if (triples_[i].o == *o && !emit(triples_[i])) return false;
-    }
-    return true;
-  }
-  for (const Triple& t : triples_) {
-    if (!visitor(t)) return false;
-  }
-  return true;
-}
 
 }  // namespace swdb
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <unordered_map>
 
 #include "util/check.h"
 
@@ -15,97 +16,233 @@ bool IsOpen(Term t) { return !t.IsIri(); }
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// FlatTermSet
+
+void PatternMatcher::FlatTermSet::Reset(size_t max_elements) {
+  size_t cap = 8;
+  while (cap < 4 * max_elements) cap <<= 1;  // load factor ≤ 1/4
+  table_.assign(cap, kEmpty);
+  mask_ = cap - 1;
+}
+
+bool PatternMatcher::FlatTermSet::Contains(uint32_t key) const {
+  for (size_t i = Home(key);; i = (i + 1) & mask_) {
+    if (table_[i] == key) return true;
+    if (table_[i] == kEmpty) return false;
+  }
+}
+
+void PatternMatcher::FlatTermSet::Insert(uint32_t key) {
+  size_t i = Home(key);
+  while (table_[i] != kEmpty) i = (i + 1) & mask_;
+  table_[i] = key;
+}
+
+void PatternMatcher::FlatTermSet::Erase(uint32_t key) {
+  size_t i = Home(key);
+  while (table_[i] != key) i = (i + 1) & mask_;
+  // Backward-shift deletion: pull forward any probe-chain entry whose
+  // home slot lies cyclically at or before the hole.
+  size_t j = i;
+  for (;;) {
+    table_[i] = kEmpty;
+    for (;;) {
+      j = (j + 1) & mask_;
+      if (table_[j] == kEmpty) return;
+      size_t home = Home(table_[j]);
+      if (((j - home) & mask_) >= ((j - i) & mask_)) break;
+    }
+    table_[i] = table_[j];
+    i = j;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PatternMatcher
+
 PatternMatcher::PatternMatcher(std::vector<Triple> pattern,
                                const Graph* target, MatchOptions options)
     : pattern_(std::move(pattern)), target_(target), options_(options) {
   assert(target_ != nullptr);
+  CompilePattern();
+}
+
+PatternMatcher::PatternMatcher(const Graph& pattern, const Graph* target,
+                               MatchOptions options)
+    : PatternMatcher(pattern.triples(), target, options) {}
+
+void PatternMatcher::set_target(const Graph* target) {
+  assert(target != nullptr);
+  target_ = target;
+}
+
+void PatternMatcher::set_exclude_triple(std::optional<Triple> t) {
+  options_.exclude_triple = std::move(t);
+}
+
+void PatternMatcher::CompilePattern() {
+  std::unordered_map<Term, int32_t> slot_of;
+  compiled_.reserve(pattern_.size());
+  for (const Triple& t : pattern_) {
+    CompiledTriple ct;
+    ct.consts = t;
+    const Term terms[3] = {t.s, t.p, t.o};
+    for (int pos = 0; pos < 3; ++pos) {
+      if (!IsOpen(terms[pos])) {
+        ct.slot[pos] = kNoSlot;
+        continue;
+      }
+      auto [it, inserted] =
+          slot_of.try_emplace(terms[pos], static_cast<int32_t>(slots_.size()));
+      if (inserted) slots_.push_back({terms[pos], terms[pos].IsBlank()});
+      ct.slot[pos] = it->second;
+    }
+    compiled_.push_back(ct);
+  }
+  binding_.resize(slots_.size());
+  bound_.assign(slots_.size(), 0);
+  slot_version_.assign(slots_.size(), 1);
+  sel_.assign(pattern_.size(), Selectivity());
+  trail_.reserve(slots_.size());
+  pending_.reserve(pattern_.size());
 }
 
 Status PatternMatcher::Enumerate(
     const std::function<bool(const TermMap&)>& visitor) {
   steps_ = 0;
   budget_exhausted_ = false;
-  assignment_ = TermMap();
-  used_blank_values_.clear();
+  stats_ = MatchStats();
+  trail_.clear();
+  std::fill(bound_.begin(), bound_.end(), uint8_t{0});
+  std::fill(slot_version_.begin(), slot_version_.end(), 1u);
+  std::fill(sel_.begin(), sel_.end(), Selectivity());
+  solution_map_ = TermMap();
   pending_.clear();
+  size_t blank_slots = 0;
+  for (const SlotInfo& s : slots_) blank_slots += s.is_blank ? 1 : 0;
+  if (options_.injective_blanks) used_blank_values_.Reset(blank_slots);
 
   // Fully ground pattern triples are containment checks; fail fast.
+  bool feasible = true;
   for (size_t i = 0; i < pattern_.size(); ++i) {
     const Triple& t = pattern_[i];
     if (!IsOpen(t.s) && !IsOpen(t.p) && !IsOpen(t.o)) {
       bool excluded = options_.exclude_triple && t == *options_.exclude_triple;
       if (excluded || !target_->Contains(t)) {
-        return Status::OK();  // no solutions
+        feasible = false;  // no solutions
+        break;
       }
     } else {
       pending_.push_back(i);
     }
   }
 
-  bool stopped = false;
-  Search(0, visitor, &stopped);
+  if (feasible) {
+    bool stopped = false;
+    Search(0, visitor, &stopped);
+  }
+  stats_.steps_used = steps_;
+  if (options_.stats != nullptr) *options_.stats = stats_;
   if (budget_exhausted_) {
     return Status::LimitExceeded("pattern matcher step budget exhausted");
   }
   return Status::OK();
 }
 
-size_t PatternMatcher::PickNext(size_t depth, size_t* count_estimate) const {
+std::optional<Term> PatternMatcher::Resolve(const CompiledTriple& ct,
+                                            int pos) const {
+  int32_t slot = ct.slot[pos];
+  if (slot == kNoSlot) {
+    return pos == 0 ? ct.consts.s : pos == 1 ? ct.consts.p : ct.consts.o;
+  }
+  if (bound_[slot]) return binding_[slot];
+  return std::nullopt;
+}
+
+size_t PatternMatcher::PickNext(size_t depth) {
   size_t best = depth;
   size_t best_count = std::numeric_limits<size_t>::max();
   for (size_t i = depth; i < pending_.size(); ++i) {
-    const Triple& t = pattern_[pending_[i]];
-    Term s = assignment_.Apply(t.s);
-    Term p = assignment_.Apply(t.p);
-    Term o = assignment_.Apply(t.o);
-    // Count matches, but stop as soon as the current best is reached —
-    // such a triple cannot win, and full counts over large predicate
-    // ranges would dominate the search otherwise.
-    size_t count = 0;
-    target_->Match(IsOpen(s) ? std::nullopt : std::optional<Term>(s),
-                   IsOpen(p) ? std::nullopt : std::optional<Term>(p),
-                   IsOpen(o) ? std::nullopt : std::optional<Term>(o),
-                   [&count, best_count](const Triple&) {
-                     return ++count < best_count;
-                   });
-    if (count < best_count) {
-      best_count = count;
+    const size_t idx = pending_[i];
+    const CompiledTriple& ct = compiled_[idx];
+    Selectivity& sel = sel_[idx];
+    // The cached count is valid while none of the triple's slots was
+    // bound or unbound since it was computed.
+    bool valid = true;
+    for (int pos = 0; pos < 3; ++pos) {
+      int32_t slot = ct.slot[pos];
+      if (slot != kNoSlot && sel.version[pos] != slot_version_[slot]) {
+        valid = false;
+        break;
+      }
+    }
+    if (!valid) {
+      sel.count = target_->CountMatches(Resolve(ct, 0), Resolve(ct, 1),
+                                        Resolve(ct, 2));
+      for (int pos = 0; pos < 3; ++pos) {
+        int32_t slot = ct.slot[pos];
+        sel.version[pos] = slot == kNoSlot ? 0 : slot_version_[slot];
+      }
+      ++stats_.selectivity_recomputes;
+    }
+    if (sel.count < best_count) {
+      best_count = sel.count;
       best = i;
-      if (count == 0) break;
+      if (best_count == 0) break;
     }
   }
-  *count_estimate = best_count;
   return best;
 }
 
-bool PatternMatcher::TryBind(const Triple& pt, const Triple& tt,
-                             std::vector<Term>* newly_bound) {
-  const Term pattern_terms[3] = {pt.s, pt.p, pt.o};
+bool PatternMatcher::TryBind(const CompiledTriple& ct, const Triple& tt) {
   const Term target_terms[3] = {tt.s, tt.p, tt.o};
-  for (int i = 0; i < 3; ++i) {
-    Term p = pattern_terms[i];
-    Term v = target_terms[i];
-    if (!IsOpen(p)) {
-      if (p != v) return false;
+  for (int pos = 0; pos < 3; ++pos) {
+    const int32_t slot = ct.slot[pos];
+    if (slot == kNoSlot) continue;  // constant: equal by range construction
+    const Term v = target_terms[pos];
+    if (bound_[slot]) {
+      // Either bound before this node (then the index range already
+      // guarantees equality) or bound by an earlier position of this
+      // same triple (repeated term, e.g. (X,p,X)) — must agree.
+      if (binding_[slot] != v) return false;
       continue;
     }
-    if (assignment_.IsBound(p)) {
-      if (assignment_.Apply(p) != v) return false;
-      continue;
-    }
-    if (p.IsBlank()) {
+    const SlotInfo& info = slots_[slot];
+    if (info.is_blank) {
       if (options_.blanks_to_blanks_only && !v.IsBlank()) return false;
-      if (options_.injective_blanks &&
-          std::find(used_blank_values_.begin(), used_blank_values_.end(),
-                    v) != used_blank_values_.end()) {
-        return false;
+      if (options_.injective_blanks) {
+        if (used_blank_values_.Contains(v.bits())) return false;
+        used_blank_values_.Insert(v.bits());
       }
-      used_blank_values_.push_back(v);
     }
-    assignment_.Bind(p, v);
-    newly_bound->push_back(p);
+    binding_[slot] = v;
+    bound_[slot] = 1;
+    ++slot_version_[slot];
+    trail_.push_back(static_cast<uint32_t>(slot));
   }
   return true;
+}
+
+void PatternMatcher::UndoTo(size_t mark) {
+  while (trail_.size() > mark) {
+    const uint32_t slot = trail_.back();
+    trail_.pop_back();
+    bound_[slot] = 0;
+    ++slot_version_[slot];
+    if (options_.injective_blanks && slots_[slot].is_blank) {
+      used_blank_values_.Erase(binding_[slot].bits());
+    }
+  }
+}
+
+void PatternMatcher::EmitSolutionMap() {
+  // Every slot is bound at a solution leaf; Bind overwrites in place, so
+  // after the first solution this allocates nothing.
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    assert(bound_[i] && "open term unbound at solution depth");
+    solution_map_.Bind(slots_[i].term, binding_[i]);
+  }
 }
 
 bool PatternMatcher::Search(size_t depth,
@@ -117,46 +254,33 @@ bool PatternMatcher::Search(size_t depth,
     return false;
   }
   if (depth == pending_.size()) {
-    if (!visitor(assignment_)) *stopped = true;
+    EmitSolutionMap();
+    ++stats_.solutions_found;
+    if (!visitor(solution_map_)) *stopped = true;
     return true;
   }
 
-  size_t estimate = 16;
-  size_t pick = depth;
-  if (!options_.static_order) {
-    pick = PickNext(depth, &estimate);
-  }
+  size_t pick = options_.static_order ? depth : PickNext(depth);
   std::swap(pending_[depth], pending_[pick]);
-  const Triple& pt = pattern_[pending_[depth]];
+  const CompiledTriple& ct = compiled_[pending_[depth]];
 
-  Term s = assignment_.Apply(pt.s);
-  Term p = assignment_.Apply(pt.p);
-  Term o = assignment_.Apply(pt.o);
+  MatchRange range =
+      target_->Matches(Resolve(ct, 0), Resolve(ct, 1), Resolve(ct, 2));
+  ++stats_.nodes_expanded;
+  ++stats_.index_hits[static_cast<size_t>(range.order())];
 
-  // Materialize candidates first: recursion below mutates the graph's
-  // lazily-built index state only via const access, but may re-enter
-  // Match; collecting keeps the iteration simple and safe.
-  std::vector<Triple> candidates;
-  candidates.reserve(estimate);
-  target_->Match(IsOpen(s) ? std::nullopt : std::optional<Term>(s),
-                 IsOpen(p) ? std::nullopt : std::optional<Term>(p),
-                 IsOpen(o) ? std::nullopt : std::optional<Term>(o),
-                 [this, &candidates](const Triple& t) {
-                   if (!options_.exclude_triple ||
-                       t != *options_.exclude_triple) {
-                     candidates.push_back(t);
-                   }
-                   return true;
-                 });
-
-  for (const Triple& tt : candidates) {
-    std::vector<Term> newly_bound;
-    size_t used_mark = used_blank_values_.size();
-    if (TryBind(pt, tt, &newly_bound)) {
+  const bool have_exclude = options_.exclude_triple.has_value();
+  const Triple exclude =
+      have_exclude ? *options_.exclude_triple : Triple();
+  for (const Triple& tt : range) {
+    ++stats_.candidates_scanned;
+    if (have_exclude && tt == exclude) continue;
+    ++stats_.binds_attempted;
+    const size_t mark = trail_.size();
+    if (TryBind(ct, tt)) {
       Search(depth + 1, visitor, stopped);
     }
-    for (Term t : newly_bound) assignment_.Unbind(t);
-    used_blank_values_.resize(used_mark);
+    UndoTo(mark);
     if (budget_exhausted_ || *stopped) break;
   }
 
@@ -177,20 +301,36 @@ Result<std::optional<TermMap>> PatternMatcher::FindAny() {
 Result<std::optional<TermMap>> FindHomomorphism(const Graph& from,
                                                 const Graph& to,
                                                 MatchOptions options) {
-  PatternMatcher matcher(from.triples(), &to, options);
+  PatternMatcher matcher(from, &to, options);
   return matcher.FindAny();
 }
 
-bool HasHomomorphism(const Graph& from, const Graph& to) {
-  Result<std::optional<TermMap>> r = FindHomomorphism(from, to);
-  SWDB_CHECK(r.ok(),
-             "homomorphism step budget exhausted; use FindHomomorphism "
-             "with explicit MatchOptions for graceful degradation");
+Result<bool> TryHasHomomorphism(const Graph& from, const Graph& to,
+                                MatchOptions options) {
+  Result<std::optional<TermMap>> r = FindHomomorphism(from, to, options);
+  if (!r.ok()) return r.status();
   return r->has_value();
 }
 
+Result<bool> TrySimpleEntails(const Graph& g1, const Graph& g2,
+                              MatchOptions options) {
+  return TryHasHomomorphism(g2, g1, options);
+}
+
+bool HasHomomorphism(const Graph& from, const Graph& to) {
+  Result<bool> r = TryHasHomomorphism(from, to);
+  SWDB_CHECK(r.ok(),
+             "homomorphism step budget exhausted; use TryHasHomomorphism "
+             "with explicit MatchOptions for graceful degradation");
+  return *r;
+}
+
 bool SimpleEntails(const Graph& g1, const Graph& g2) {
-  return HasHomomorphism(g2, g1);
+  Result<bool> r = TrySimpleEntails(g1, g2);
+  SWDB_CHECK(r.ok(),
+             "simple-entailment step budget exhausted; use TrySimpleEntails "
+             "with explicit MatchOptions for graceful degradation");
+  return *r;
 }
 
 bool SimpleEquivalent(const Graph& g1, const Graph& g2) {

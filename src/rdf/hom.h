@@ -1,6 +1,8 @@
 #ifndef SWDB_RDF_HOM_H_
 #define SWDB_RDF_HOM_H_
 
+#include <array>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -10,6 +12,29 @@
 #include "util/status.h"
 
 namespace swdb {
+
+/// Counters describing one Enumerate run of the pattern matcher. All
+/// counters are cheap increments on the search path; collecting them is
+/// always on (there is no instrumentation build flag).
+struct MatchStats {
+  /// Search nodes that resolved an index range and iterated candidates
+  /// (solution leaves and the ground prefilter are not nodes).
+  uint64_t nodes_expanded = 0;
+  /// Candidate triples pulled out of index ranges across all nodes.
+  uint64_t candidates_scanned = 0;
+  /// Candidates that survived the exclude filter and entered TryBind.
+  uint64_t binds_attempted = 0;
+  /// Solutions delivered to the visitor.
+  uint64_t solutions_found = 0;
+  /// Budget steps consumed (== PatternMatcher::steps_used()).
+  uint64_t steps_used = 0;
+  /// Selectivity-cache misses: CountMatches calls made by PickNext. The
+  /// incremental cache makes this far smaller than nodes × pending.
+  uint64_t selectivity_recomputes = 0;
+  /// Candidate ranges served, bucketed by the index order that served
+  /// them (indexed by IndexOrder).
+  std::array<uint64_t, kNumIndexOrders> index_hits = {};
+};
 
 /// Options for the backtracking pattern matcher.
 struct MatchOptions {
@@ -36,6 +61,10 @@ struct MatchOptions {
   /// process pattern triples in their given order instead. Exists for
   /// ablation benchmarks; expect exponentially worse behaviour on joins.
   bool static_order = false;
+
+  /// When non-null, receives a copy of the run's MatchStats at the end
+  /// of every Enumerate call (also on early stop / budget exhaustion).
+  MatchStats* stats = nullptr;
 };
 
 /// Backtracking solver that enumerates all assignments μ of the *open*
@@ -49,13 +78,21 @@ struct MatchOptions {
 ///
 /// The search assigns one pattern triple at a time, always choosing the
 /// pending triple with the fewest matching target triples under the
-/// current partial assignment (most-constrained-first), and enumerates
-/// its matches through the target graph's (s,p,o)/(p,s,o)/(p,o,s)
-/// indexes.
+/// current partial assignment (most-constrained-first), and walks its
+/// candidates directly through the target graph's index ranges
+/// (Graph::Matches) — the candidate loop touches no heap.
+///
+/// Internally the pattern is compiled once: every distinct open term
+/// gets a dense slot id, bindings live in a flat array with an undo
+/// trail, and per-triple selectivity counts are cached and recomputed
+/// only when a slot of that triple changed (version stamps).
 class PatternMatcher {
  public:
   /// The target graph must outlive the matcher and contain no variables.
   PatternMatcher(std::vector<Triple> pattern, const Graph* target,
+                 MatchOptions options = MatchOptions());
+  /// Convenience: pattern given as a graph (query bodies, iso search).
+  PatternMatcher(const Graph& pattern, const Graph* target,
                  MatchOptions options = MatchOptions());
 
   /// Enumerates assignments. The visitor is called once per solution map
@@ -68,44 +105,126 @@ class PatternMatcher {
   /// Convenience: the first solution found, if any.
   Result<std::optional<TermMap>> FindAny();
 
+  /// Re-points the matcher at a different target graph, keeping the
+  /// compiled pattern. For callers that match one pattern against many
+  /// targets (minimal representations, containment probes).
+  void set_target(const Graph* target);
+
+  /// Replaces the exclude_triple option between Enumerate calls. For
+  /// callers probing "pattern → target \ {t}" for many t with one
+  /// compiled pattern (the leanness/core loop).
+  void set_exclude_triple(std::optional<Triple> t);
+
   /// Number of backtracking steps consumed by the last call.
   uint64_t steps_used() const { return steps_; }
 
+  /// Counters from the last Enumerate/FindAny call.
+  const MatchStats& stats() const { return stats_; }
+
  private:
+  static constexpr int32_t kNoSlot = -1;
+
+  // A pattern triple with its open positions resolved to slot ids.
+  struct CompiledTriple {
+    Triple consts;                    // original terms (constants used as-is)
+    std::array<int32_t, 3> slot;      // slot id per position, or kNoSlot
+  };
+  struct SlotInfo {
+    Term term;      // the pattern's blank node or variable
+    bool is_blank;  // blank nodes are subject to the blank-only options
+  };
+  // Per-pattern-triple cached candidate count with the slot-version
+  // stamps it was computed under.
+  struct Selectivity {
+    size_t count = 0;
+    std::array<uint32_t, 3> version = {};  // 0 = never computed
+  };
+
+  // Open-addressing set of term bits with backward-shift deletion; holds
+  // the current images of bound blank slots for the injectivity check.
+  // Sized once per Enumerate (≤ one entry per blank slot), so inserts
+  // never rehash and lookups are O(1) without heap traffic.
+  class FlatTermSet {
+   public:
+    void Reset(size_t max_elements);
+    bool Contains(uint32_t key) const;
+    void Insert(uint32_t key);  // key must be absent
+    void Erase(uint32_t key);   // key must be present
+
+   private:
+    static constexpr uint32_t kEmpty = 0xFFFFFFFFu;  // kind bits 11: unused
+    size_t Home(uint32_t key) const {
+      return static_cast<size_t>((key * 0x9E3779B97F4A7C15ull) >> 32) & mask_;
+    }
+    std::vector<uint32_t> table_;
+    size_t mask_ = 0;
+  };
+
+  void CompilePattern();
   bool Search(size_t depth, const std::function<bool(const TermMap&)>& visitor,
               bool* stopped);
-  // Returns the index (into pending_) of the cheapest pending triple and
-  // its candidate count estimate.
-  size_t PickNext(size_t depth, size_t* count_estimate) const;
-  // Tries to bind the open positions of pattern triple `pt` to match
-  // target triple `tt`. Records newly bound terms in newly_bound.
-  bool TryBind(const Triple& pt, const Triple& tt,
-               std::vector<Term>* newly_bound);
+  // Returns the index (into pending_) of the cheapest pending triple,
+  // refreshing stale selectivity-cache entries along the way.
+  size_t PickNext(size_t depth);
+  // The pattern triple's position `pos` under the current bindings:
+  // its constant, its slot's value, or nullopt if the slot is open.
+  std::optional<Term> Resolve(const CompiledTriple& ct, int pos) const;
+  // Binds the open slots of `ct` to the corresponding positions of the
+  // candidate `tt`; pushes each new binding onto the trail. On mismatch
+  // returns false with partial bindings left for UndoTo to unwind.
+  bool TryBind(const CompiledTriple& ct, const Triple& tt);
+  // Unwinds the trail back to the given mark.
+  void UndoTo(size_t mark);
+  // Refreshes solution_map_ from the dense bindings.
+  void EmitSolutionMap();
 
   std::vector<Triple> pattern_;
   const Graph* target_;
   MatchOptions options_;
 
-  // Search state.
+  // Compiled pattern (built once in the constructor).
+  std::vector<CompiledTriple> compiled_;
+  std::vector<SlotInfo> slots_;
+
+  // Search state (reset by Enumerate; no allocation inside the search).
   std::vector<size_t> pending_;  // indices of unprocessed pattern triples
-  TermMap assignment_;
-  std::vector<Term> used_blank_values_;  // for injectivity checks
+  std::vector<Term> binding_;         // value per slot
+  std::vector<uint8_t> bound_;        // 1 if the slot is bound
+  std::vector<uint32_t> slot_version_;  // bumped on every bind/unbind
+  std::vector<uint32_t> trail_;       // bound slot ids, in bind order
+  std::vector<Selectivity> sel_;      // per pattern triple
+  FlatTermSet used_blank_values_;     // injectivity (iso search) only
+  TermMap solution_map_;              // scratch map handed to visitors
   uint64_t steps_ = 0;
   bool budget_exhausted_ = false;
+  MatchStats stats_;
 };
 
 /// Finds a map μ with μ(from) ⊆ to (a homomorphism between RDF graphs).
 Result<std::optional<TermMap>> FindHomomorphism(
     const Graph& from, const Graph& to, MatchOptions options = MatchOptions());
 
-/// True iff a homomorphism from → to exists. Asserts the step budget was
-/// not exhausted; use FindHomomorphism for budget-aware callers.
+/// True iff a homomorphism from → to exists; kLimitExceeded if the step
+/// budget ran out before the search space was covered.
+Result<bool> TryHasHomomorphism(const Graph& from, const Graph& to,
+                                MatchOptions options = MatchOptions());
+
+/// Budget-aware simple entailment g1 ⊨ g2 for simple graphs,
+/// characterized by the existence of a map g2 → g1 (paper Thm 2.8(2)).
+/// Returns kLimitExceeded instead of aborting when the step budget is
+/// exhausted, so library callers can degrade gracefully.
+Result<bool> TrySimpleEntails(const Graph& g1, const Graph& g2,
+                              MatchOptions options = MatchOptions());
+
+/// True iff a homomorphism from → to exists. Thin shim over
+/// TryHasHomomorphism that asserts the step budget was not exhausted;
+/// use the Try variant for budget-aware callers.
 bool HasHomomorphism(const Graph& from, const Graph& to);
 
-/// Simple entailment g1 ⊨ g2 for simple graphs, characterized by the
-/// existence of a map g2 → g1 (paper Thm 2.8(2)). This function computes
-/// exactly that map condition; for graphs with RDFS vocabulary use
-/// RdfsEntails (inference/closure.h) which first closes g1.
+/// Simple entailment g1 ⊨ g2 (paper Thm 2.8(2)). Thin shim over
+/// TrySimpleEntails that asserts the step budget was not exhausted; for
+/// graphs with RDFS vocabulary use RdfsEntails (inference/closure.h)
+/// which first closes g1.
 bool SimpleEntails(const Graph& g1, const Graph& g2);
 
 /// Simple equivalence: maps in both directions (paper §2.3.1).

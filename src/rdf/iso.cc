@@ -34,7 +34,7 @@ std::optional<TermMap> FindIsomorphism(const Graph& g1, const Graph& g2) {
   options.blanks_to_blanks_only = true;
   options.injective_blanks = true;
 
-  PatternMatcher matcher(g1.triples(), &g2, options);
+  PatternMatcher matcher(g1, &g2, options);
   std::optional<TermMap> witness;
   Status s = matcher.Enumerate([&](const TermMap& mu) {
     // An injective blank→blank map between equal-sized graphs has an

@@ -172,7 +172,7 @@ namespace {
 Result<MappingSet> EvalBgp(const Graph& g, const Graph& bgp,
                            const MatchOptions& options) {
   MappingSet out;
-  PatternMatcher matcher(bgp.triples(), &g, options);
+  PatternMatcher matcher(bgp, &g, options);
   Status status = matcher.Enumerate([&out](const Mapping& m) {
     out.push_back(m);
     return true;

@@ -159,6 +159,115 @@ TEST_F(GraphTest, InsertAllIsSetUnion) {
   EXPECT_EQ(g1.size(), 2u);
 }
 
+class MatchRangeTest : public ::testing::Test {
+ protected:
+  MatchRangeTest() {
+    for (int s = 0; s < 4; ++s) {
+      for (int p = 0; p < 3; ++p) {
+        for (int o = 0; o < 4; ++o) {
+          if ((s + 2 * p + o) % 3 == 0) {
+            g_.Insert(Term_(s), Pred_(p), Term_(o));
+          }
+        }
+      }
+    }
+  }
+  Term Term_(int i) { return dict_.Iri("urn:n" + std::to_string(i)); }
+  Term Pred_(int i) { return dict_.Iri("urn:p" + std::to_string(i)); }
+
+  // Reference: brute-force filter over all triples.
+  std::vector<Triple> Brute(std::optional<Term> s, std::optional<Term> p,
+                            std::optional<Term> o) {
+    std::vector<Triple> out;
+    for (const Triple& t : g_) {
+      if (s && t.s != *s) continue;
+      if (p && t.p != *p) continue;
+      if (o && t.o != *o) continue;
+      out.push_back(t);
+    }
+    return out;
+  }
+
+  Dictionary dict_;
+  Graph g_;
+};
+
+TEST_F(MatchRangeTest, EveryBoundCombinationAgreesWithBruteForce) {
+  std::vector<std::optional<Term>> subjects = {std::nullopt, Term_(0), Term_(2),
+                                               dict_.Iri("urn:absent")};
+  std::vector<std::optional<Term>> preds = {std::nullopt, Pred_(0), Pred_(1)};
+  std::vector<std::optional<Term>> objects = {std::nullopt, Term_(1), Term_(3)};
+  for (const auto& s : subjects) {
+    for (const auto& p : preds) {
+      for (const auto& o : objects) {
+        std::vector<Triple> expected = Brute(s, p, o);
+        MatchRange range = g_.Matches(s, p, o);
+        EXPECT_EQ(range.size(), expected.size());
+        EXPECT_EQ(range.empty(), expected.empty());
+        std::vector<Triple> got(range.begin(), range.end());
+        std::sort(got.begin(), got.end());
+        std::sort(expected.begin(), expected.end());
+        EXPECT_EQ(got, expected);
+        EXPECT_EQ(g_.CountMatches(s, p, o), expected.size());
+      }
+    }
+  }
+}
+
+TEST_F(MatchRangeTest, IndexOrderSelection) {
+  // Each bound-position combination resolves to one contiguous range in a
+  // specific permutation.
+  EXPECT_EQ(g_.Matches(std::nullopt, std::nullopt, std::nullopt).order(),
+            IndexOrder::kFullScan);
+  EXPECT_EQ(g_.Matches(Term_(0), std::nullopt, std::nullopt).order(),
+            IndexOrder::kSpo);
+  EXPECT_EQ(g_.Matches(Term_(0), Pred_(0), std::nullopt).order(),
+            IndexOrder::kSpo);
+  EXPECT_EQ(g_.Matches(Term_(0), Pred_(0), Term_(0)).order(),
+            IndexOrder::kSpo);
+  EXPECT_EQ(g_.Matches(std::nullopt, Pred_(0), std::nullopt).order(),
+            IndexOrder::kPso);
+  EXPECT_EQ(g_.Matches(std::nullopt, Pred_(0), Term_(0)).order(),
+            IndexOrder::kPos);
+  EXPECT_EQ(g_.Matches(std::nullopt, std::nullopt, Term_(0)).order(),
+            IndexOrder::kOsp);
+  EXPECT_EQ(g_.Matches(Term_(0), std::nullopt, Term_(0)).order(),
+            IndexOrder::kOsp);
+}
+
+TEST_F(MatchRangeTest, IndexOrderNamesAreStable) {
+  EXPECT_STREQ(IndexOrderName(IndexOrder::kSpo), "spo");
+  EXPECT_STREQ(IndexOrderName(IndexOrder::kPso), "pso");
+  EXPECT_STREQ(IndexOrderName(IndexOrder::kPos), "pos");
+  EXPECT_STREQ(IndexOrderName(IndexOrder::kOsp), "osp");
+  EXPECT_STREQ(IndexOrderName(IndexOrder::kFullScan), "scan");
+}
+
+TEST_F(MatchRangeTest, MatchVisitorSeesSameTriplesAndStopsEarly) {
+  size_t visited = 0;
+  g_.Match(std::nullopt, Pred_(1), std::nullopt, [&](const Triple& t) {
+    EXPECT_EQ(t.p, Pred_(1));
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, g_.CountMatches(std::nullopt, Pred_(1), std::nullopt));
+
+  size_t stopped_at = 0;
+  bool completed = g_.Match(std::nullopt, std::nullopt, std::nullopt,
+                            [&](const Triple&) { return ++stopped_at < 2; });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(stopped_at, 2u);
+}
+
+TEST_F(MatchRangeTest, MutationAfterIndexBuildIsReflected) {
+  Term s = Term_(0);
+  size_t before = g_.CountMatches(std::nullopt, std::nullopt, s);
+  g_.Insert(dict_.Iri("urn:new"), Pred_(0), s);
+  EXPECT_EQ(g_.CountMatches(std::nullopt, std::nullopt, s), before + 1);
+  g_.Erase(Triple(dict_.Iri("urn:new"), Pred_(0), s));
+  EXPECT_EQ(g_.CountMatches(std::nullopt, std::nullopt, s), before);
+}
+
 TEST(GraphParse, RoundTrip) {
   Dictionary dict;
   Graph g = Data(&dict,

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "testutil.h"
 #include "util/str.h"
 
@@ -160,6 +162,224 @@ TEST_F(HomTest, GroundTriplePrefilterRejectsEarly) {
   Graph pattern = Data(&dict_, "a p b .\n_:X p c .");
   Graph target = Data(&dict_, "_:X p c .\nd p c .");  // lacks ground (a,p,b)
   EXPECT_FALSE(HasHomomorphism(pattern, target));
+}
+
+TEST_F(HomTest, TrySimpleEntailsReportsBudgetInsteadOfAborting) {
+  // The same adversarial shape as BudgetExhaustionReportsLimitExceeded:
+  // the Try API must surface kLimitExceeded as a value, not crash.
+  Graph pattern;
+  Graph target;
+  Term p = dict_.Iri("p");
+  std::vector<Term> blanks;
+  for (int i = 0; i < 6; ++i) {
+    blanks.push_back(dict_.Blank(NumberedName("b", i)));
+  }
+  for (Term x : blanks) {
+    for (Term y : blanks) {
+      if (x != y) pattern.Insert(x, p, y);
+    }
+  }
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j < 12; ++j) {
+      if (i != j && (i + j) % 3 != 0) {
+        target.Insert(dict_.Iri(NumberedName("n", i)), p,
+                      dict_.Iri(NumberedName("n", j)));
+      }
+    }
+  }
+  MatchOptions options;
+  options.max_steps = 5;
+  Result<bool> r = TrySimpleEntails(target, pattern, options);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kLimitExceeded);
+}
+
+TEST_F(HomTest, StatsCountNodesCandidatesAndSolutions) {
+  Graph pattern = G(&dict_, "?X p ?Y .");
+  Graph target = Data(&dict_, "a p b .\na p c .\nb p d .");
+  MatchStats stats;
+  MatchOptions options;
+  options.stats = &stats;
+  PatternMatcher matcher(pattern, &target, options);
+  size_t solutions = 0;
+  Status s = matcher.Enumerate([&solutions](const TermMap&) {
+    ++solutions;
+    return true;
+  });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(solutions, 3u);
+  // One node resolves the predicate range once; its three candidates all
+  // bind and reach a solution leaf.
+  EXPECT_EQ(stats.nodes_expanded, 1u);
+  EXPECT_EQ(stats.candidates_scanned, 3u);
+  EXPECT_EQ(stats.binds_attempted, 3u);
+  EXPECT_EQ(stats.solutions_found, 3u);
+  EXPECT_EQ(stats.index_hits[static_cast<size_t>(IndexOrder::kPso)], 1u);
+  EXPECT_EQ(stats.steps_used, matcher.steps_used());
+  EXPECT_GE(stats.selectivity_recomputes, 1u);
+  EXPECT_EQ(stats.steps_used, 4u);  // root node + three solution leaves
+}
+
+TEST_F(HomTest, BudgetExhaustionMidEnumerationKeepsPartialSolutions) {
+  Graph pattern = G(&dict_, "?X p ?Y .");
+  Graph target = Data(&dict_, "a p b .\na p c .\nb p d .");
+  MatchOptions options;
+  options.max_steps = 3;  // root + two solution leaves, then exhausted
+  PatternMatcher matcher(pattern, &target, options);
+  size_t solutions = 0;
+  Status s = matcher.Enumerate([&solutions](const TermMap&) {
+    ++solutions;
+    return true;
+  });
+  EXPECT_EQ(s.code(), StatusCode::kLimitExceeded);
+  EXPECT_EQ(solutions, 2u);  // partial enumeration was still delivered
+}
+
+TEST_F(HomTest, InjectiveBlanksInteractWithBlanksToBlanksOnly) {
+  MatchOptions options;
+  options.blanks_to_blanks_only = true;
+  options.injective_blanks = true;
+
+  Graph pattern = Data(&dict_, "_:A p _:B .");
+  // No blanks in the target: blanks_to_blanks_only leaves no images.
+  Graph ground_target = Data(&dict_, "a p b .");
+  PatternMatcher no_blanks(pattern, &ground_target, options);
+  Result<std::optional<TermMap>> r = no_blanks.FindAny();
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->has_value());
+
+  // A single blank self-loop satisfies blanks_to_blanks_only but not
+  // injectivity (A and B would share the image).
+  Graph loop_target = Data(&dict_, "_:U p _:U .");
+  PatternMatcher loop(pattern, &loop_target, options);
+  r = loop.FindAny();
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->has_value());
+
+  // Injectivity alone (without blanks_to_blanks_only) allows mapping A
+  // and B to the two distinct URIs.
+  MatchOptions injective_only;
+  injective_only.injective_blanks = true;
+  PatternMatcher uris(pattern, &ground_target, injective_only);
+  r = uris.FindAny();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->has_value());
+
+  // Two distinct blanks satisfy both restrictions.
+  Graph two_blanks = Data(&dict_, "_:U p _:V .");
+  PatternMatcher ok(pattern, &two_blanks, options);
+  r = ok.FindAny();
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->has_value());
+  EXPECT_NE((*r)->Apply(dict_.Blank("A")), (*r)->Apply(dict_.Blank("B")));
+}
+
+TEST_F(HomTest, ExcludeTripleOnGroundPattern) {
+  Graph pattern = Data(&dict_, "a p b .");
+  Graph target = Data(&dict_, "a p b .\nb p c .");
+  MatchOptions options;
+  options.exclude_triple =
+      Triple(dict_.Iri("a"), dict_.Iri("p"), dict_.Iri("b"));
+  PatternMatcher matcher(pattern, &target, options);
+  size_t solutions = 0;
+  Status s = matcher.Enumerate([&solutions](const TermMap&) {
+    ++solutions;
+    return true;
+  });
+  // The ground prefilter must honour the exclusion: the pattern's only
+  // support in the target is the excluded triple.
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(solutions, 0u);
+
+  // Excluding an unrelated triple leaves the (empty-map) solution.
+  matcher.set_exclude_triple(
+      Triple(dict_.Iri("b"), dict_.Iri("p"), dict_.Iri("c")));
+  solutions = 0;
+  s = matcher.Enumerate([&solutions](const TermMap&) {
+    ++solutions;
+    return true;
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(solutions, 1u);
+}
+
+TEST_F(HomTest, SetTargetRebindsCompiledPattern) {
+  Graph pattern = Data(&dict_, "_:X p c .");
+  Graph with = Data(&dict_, "a p c .");
+  Graph without = Data(&dict_, "a p b .");
+  PatternMatcher matcher(pattern, &with);
+  Result<std::optional<TermMap>> r = matcher.FindAny();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->has_value());
+  matcher.set_target(&without);
+  r = matcher.FindAny();
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->has_value());
+}
+
+TEST_F(HomTest, EnumerationOrderIsDeterministic) {
+  // Regression pin for the dense-binding rewrite: candidates are walked
+  // in index order and the most-constrained-first pick breaks ties by
+  // pattern position, so the solution order is fully determined.
+  Graph pattern = G(&dict_, "?X p ?Y .\n?Y p ?Z .");
+  Graph target = Data(&dict_, "a p b .\nb p c .\nb p d .");
+  auto run = [&]() {
+    std::vector<std::vector<Term>> order;
+    PatternMatcher matcher(pattern, &target);
+    Status s = matcher.Enumerate([&](const TermMap& mu) {
+      order.push_back({mu.Apply(dict_.Var("X")), mu.Apply(dict_.Var("Y")),
+                       mu.Apply(dict_.Var("Z"))});
+      return true;
+    });
+    EXPECT_TRUE(s.ok());
+    return order;
+  };
+  std::vector<std::vector<Term>> first = run();
+  ASSERT_EQ(first.size(), 2u);
+  std::vector<std::vector<Term>> expected = {
+      {dict_.Iri("a"), dict_.Iri("b"), dict_.Iri("c")},
+      {dict_.Iri("a"), dict_.Iri("b"), dict_.Iri("d")},
+  };
+  EXPECT_EQ(first, expected);
+  EXPECT_EQ(run(), first);  // stable across repeated runs
+}
+
+TEST_F(HomTest, StaticOrderAgreesWithDynamicOrder) {
+  Graph pattern = G(&dict_, "?X p ?Y .\n?Y q ?Z .\n?Z p ?X .");
+  Graph target = Data(&dict_,
+                      "a p b .\nb q c .\nc p a .\n"
+                      "b p c .\nc q a .\na q b .");
+  auto solutions = [&](bool static_order) {
+    MatchOptions options;
+    options.static_order = static_order;
+    PatternMatcher matcher(pattern, &target, options);
+    std::vector<std::vector<Term>> out;
+    Status s = matcher.Enumerate([&](const TermMap& mu) {
+      out.push_back({mu.Apply(dict_.Var("X")), mu.Apply(dict_.Var("Y")),
+                     mu.Apply(dict_.Var("Z"))});
+      return true;
+    });
+    EXPECT_TRUE(s.ok());
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(solutions(false), solutions(true));
+}
+
+TEST_F(HomTest, RepeatedVariableAcrossPositionsOfOneTriple) {
+  // (X, p, X) with X already bound by a neighbouring triple exercises
+  // the within-triple repeated-slot check of the dense binder.
+  Graph pattern = G(&dict_, "?X p ?X .\n?X q c .");
+  Graph target = Data(&dict_, "a p a .\na q c .\nb p b .");
+  PatternMatcher matcher(pattern, &target);
+  std::vector<Term> xs;
+  Status s = matcher.Enumerate([&](const TermMap& mu) {
+    xs.push_back(mu.Apply(dict_.Var("X")));
+    return true;
+  });
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_EQ(xs[0], dict_.Iri("a"));
 }
 
 }  // namespace
