@@ -34,14 +34,61 @@ namespace {
 ///   - dom_fwd_/range_fwd_ and type_rev_ for rules (5)–(7).
 class ClosureEngine {
  public:
+  /// Full fixpoint over g.
   ClosureEngine(const Graph& g, std::vector<RuleApplication>* trace,
                 const RuleSet& rules)
       : trace_(trace), rules_(rules) {
     for (const Triple& t : g) {
       Enqueue(t, /*base=*/true);
     }
+    AddVocabAxioms();
+  }
+
+  /// Semi-naive delta mode: `closure` is seeded into the join indexes
+  /// but never re-expanded; only `delta` (and what it derives) enters
+  /// the expansion worklist. `closure` must be closed under `rules`,
+  /// except that gaps may be covered through the delta — the DRed
+  /// re-derive pass relies on exactly this.
+  ClosureEngine(const Graph& closure, const Graph& delta,
+                std::vector<RuleApplication>* trace, const RuleSet& rules)
+      : trace_(trace), rules_(rules) {
+    SeedClosed(closure);
+    AddVocabAxioms();
+    EnqueueDelta(delta);
+  }
+
+  void RunToFixpoint() {
+    while (cursor_ < worklist_.size()) {
+      // Copy: Expand enqueues, and push_back may reallocate worklist_.
+      Triple t = worklist_[cursor_++];
+      Expand(t);
+    }
+  }
+
+  /// Appends further delta triples after a previous fixpoint — the
+  /// persistent-engine entry point (IncrementalClosure).
+  void EnqueueDelta(const Graph& delta) {
+    for (const Triple& t : delta) Enqueue(t, /*base=*/true);
+  }
+
+  /// All triples known so far, in derivation order (seeds first).
+  const std::vector<Triple>& worklist() const { return worklist_; }
+  size_t known_size() const { return worklist_.size(); }
+
+  /// Destructively converts the worklist into the result graph.
+  Graph TakeResult() { return Graph(std::move(worklist_)); }
+
+ private:
+  // Registers every triple of an already-closed graph without
+  // scheduling it for expansion.
+  void SeedClosed(const Graph& closure) {
+    for (const Triple& t : closure) Enqueue(t, /*base=*/true);
+    cursor_ = worklist_.size();
+  }
+
+  // Rule (9): the vocabulary reflexivity axioms hold unconditionally.
+  void AddVocabAxioms() {
     if (!rules_.reflexivity) return;
-    // Rule (9): the vocabulary reflexivity axioms hold unconditionally.
     for (Term v : vocab::kAll) {
       Triple t(v, kSp, v);
       if (known_.count(t)) continue;
@@ -50,16 +97,6 @@ class ClosureEngine {
     }
   }
 
-  Graph Run() {
-    while (cursor_ < worklist_.size()) {
-      // Copy: Expand enqueues, and push_back may reallocate worklist_.
-      Triple t = worklist_[cursor_++];
-      Expand(t);
-    }
-    return Graph(std::move(worklist_));
-  }
-
- private:
   void Record(RuleId rule, std::vector<Triple> premises,
               std::vector<Triple> conclusions) {
     if (trace_ == nullptr) return;
@@ -332,17 +369,370 @@ class ClosureEngine {
   std::unordered_set<Triple> base_edges_;
 };
 
+/// Sound one-step derivability check used by the DRed re-derive pass:
+/// true only if c has a rule-(2)–(13) derivation whose premises all lie
+/// in p (possibly via a premise itself one-step derivable from p, which
+/// keeps c ∈ RDFS-cl(p) — soundness is what matters here). It is
+/// complete for single rule applications over p, which is exactly what
+/// DRed requires of the re-derive seed.
+bool DerivableOneStep(const Graph& p, const Triple& c) {
+  if (!c.IsWellFormedData()) return false;
+  // Rule (3), any conclusion predicate (including the reserved ones —
+  // pathological graphs can mint sp/sc/type edges through it): some
+  // explicit (c.s, p', c.o) with p' = c.p or (p', sp, c.p) ∈ p.
+  bool hit = false;
+  p.Match(c.s, std::nullopt, c.o, [&](const Triple& use) {
+    if (use.p == c.p || p.Contains(Triple(use.p, kSp, c.p))) {
+      hit = true;
+      return false;
+    }
+    return true;
+  });
+  if (hit) return true;
+  if (c.p == kSp) {
+    if (c.s == c.o) {
+      const Term a = c.s;
+      for (Term v : vocab::kAll) {
+        if (a == v) return true;  // rule (9)
+      }
+      if (p.CountMatches(std::nullopt, a, std::nullopt) > 0) return true;
+      if (p.CountMatches(a, kDom, std::nullopt) > 0) return true;  // (10)
+      if (p.CountMatches(a, kRange, std::nullopt) > 0) return true;
+      if (p.CountMatches(a, kSp, std::nullopt) > 0) return true;  // (11)
+      if (p.CountMatches(std::nullopt, kSp, a) > 0) return true;
+      return false;
+    }
+    // Rule (2): a two-edge sp path.
+    p.Match(c.s, kSp, std::nullopt, [&](const Triple& e) {
+      if (p.Contains(Triple(e.o, kSp, c.o))) {
+        hit = true;
+        return false;
+      }
+      return true;
+    });
+    return hit;
+  }
+  if (c.p == kSc) {
+    if (c.s == c.o) {
+      const Term a = c.s;
+      if (p.CountMatches(std::nullopt, kType, a) > 0) return true;  // (12)
+      if (p.CountMatches(std::nullopt, kDom, a) > 0) return true;
+      if (p.CountMatches(std::nullopt, kRange, a) > 0) return true;
+      if (p.CountMatches(a, kSc, std::nullopt) > 0) return true;  // (13)
+      if (p.CountMatches(std::nullopt, kSc, a) > 0) return true;
+      return false;
+    }
+    // Rule (4): a two-edge sc path.
+    p.Match(c.s, kSc, std::nullopt, [&](const Triple& e) {
+      if (p.Contains(Triple(e.o, kSc, c.o))) {
+        hit = true;
+        return false;
+      }
+      return true;
+    });
+    return hit;
+  }
+  if (c.p == kType) {
+    // Rule (5): (c.s, type, a) with (a, sc, c.o).
+    p.Match(c.s, kType, std::nullopt, [&](const Triple& ty) {
+      if (p.Contains(Triple(ty.o, kSc, c.o))) {
+        hit = true;
+        return false;
+      }
+      return true;
+    });
+    if (hit) return true;
+    // Rule (6): (A, dom, c.o) with a use (c.s, p', _), p' = A or
+    // (p', sp, A) ∈ p. (The direct part's (A, sp, A) premise is itself
+    // rule-(10) derivable from the dom triple, keeping this sound.)
+    p.Match(std::nullopt, kDom, c.o, [&](const Triple& d) {
+      p.Match(c.s, std::nullopt, std::nullopt, [&](const Triple& use) {
+        if (use.p == d.s || p.Contains(Triple(use.p, kSp, d.s))) {
+          hit = true;
+          return false;
+        }
+        return true;
+      });
+      return !hit;
+    });
+    if (hit) return true;
+    // Rule (7): (A, range, c.o) with a use (_, p', c.s).
+    p.Match(std::nullopt, kRange, c.o, [&](const Triple& r) {
+      p.Match(std::nullopt, std::nullopt, c.s, [&](const Triple& use) {
+        if (use.p == r.s || p.Contains(Triple(use.p, kSp, r.s))) {
+          hit = true;
+          return false;
+        }
+        return true;
+      });
+      return !hit;
+    });
+    return hit;
+  }
+  // dom/range and ordinary predicates: only rule (3) (checked above)
+  // concludes them.
+  return false;
+}
+
+// Enumerates the conclusions of every rule application that uses t as a
+// premise, drawing the remaining premises from g's permutation indexes.
+// Conclusions may repeat, be ill-formed (blank predicate), or already be
+// present — the callback filters. The callback must not mutate g.
+//
+// Joining against the full transitive relations in g over-approximates
+// the engine's left-linear evaluation; combined with a worklist that
+// eventually processes every member triple it is also complete, which is
+// exactly what both the over-delete walk and the re-derive walk need.
+template <typename Emit>
+void ForEachConsequence(const Graph& g, const Triple& t, Emit&& emit) {
+  emit(Triple(t.p, kSp, t.p));  // rule (8)
+  g.Match(t.p, kSp, std::nullopt, [&](const Triple& e) {
+    emit(Triple(t.s, e.o, t.o));  // rule (3), t as the use
+    // Rules (6)/(7), t as the use (X, C, Y): the reflexive
+    // (t.p, sp, t.p) edge makes the direct C = A case fall out.
+    g.Match(e.o, kDom, std::nullopt, [&](const Triple& d) {
+      emit(Triple(t.s, kType, d.o));
+      return true;
+    });
+    g.Match(e.o, kRange, std::nullopt, [&](const Triple& r) {
+      emit(Triple(t.o, kType, r.o));
+      return true;
+    });
+    return true;
+  });
+  if (t.p == kSp) {
+    // Rule (2), t as either premise.
+    g.Match(std::nullopt, kSp, t.s, [&](const Triple& e) {
+      emit(Triple(e.s, kSp, t.o));
+      return true;
+    });
+    g.Match(t.o, kSp, std::nullopt, [&](const Triple& e) {
+      emit(Triple(t.s, kSp, e.o));
+      return true;
+    });
+    // Rule (3), t as the schema premise: lift every use of t.s.
+    g.Match(std::nullopt, t.s, std::nullopt, [&](const Triple& use) {
+      emit(Triple(use.s, t.o, use.o));
+      return true;
+    });
+    // Rules (6)/(7), t as the (C, sp, A) premise: A = t.o, C = t.s.
+    g.Match(t.o, kDom, std::nullopt, [&](const Triple& d) {
+      g.Match(std::nullopt, t.s, std::nullopt, [&](const Triple& use) {
+        emit(Triple(use.s, kType, d.o));
+        return true;
+      });
+      return true;
+    });
+    g.Match(t.o, kRange, std::nullopt, [&](const Triple& r) {
+      g.Match(std::nullopt, t.s, std::nullopt, [&](const Triple& use) {
+        emit(Triple(use.o, kType, r.o));
+        return true;
+      });
+      return true;
+    });
+    emit(Triple(t.s, kSp, t.s));  // rule (11)
+    emit(Triple(t.o, kSp, t.o));
+  } else if (t.p == kSc) {
+    // Rule (4), t as either premise.
+    g.Match(std::nullopt, kSc, t.s, [&](const Triple& e) {
+      emit(Triple(e.s, kSc, t.o));
+      return true;
+    });
+    g.Match(t.o, kSc, std::nullopt, [&](const Triple& e) {
+      emit(Triple(t.s, kSc, e.o));
+      return true;
+    });
+    // Rule (5), t as the sc premise.
+    g.Match(std::nullopt, kType, t.s, [&](const Triple& i) {
+      emit(Triple(i.s, kType, t.o));
+      return true;
+    });
+    emit(Triple(t.s, kSc, t.s));  // rule (13)
+    emit(Triple(t.o, kSc, t.o));
+  } else if (t.p == kType) {
+    // Rule (5), t as the type premise.
+    g.Match(t.o, kSc, std::nullopt, [&](const Triple& e) {
+      emit(Triple(t.s, kType, e.o));
+      return true;
+    });
+    emit(Triple(t.o, kSc, t.o));  // rule (12)
+  } else if (t.p == kDom) {
+    // Rule (6), t as the (A, dom, B) premise: the reflexive
+    // (t.s, sp, t.s) edge covers the direct C = A case.
+    g.Match(std::nullopt, kSp, t.s, [&](const Triple& e) {
+      g.Match(std::nullopt, e.s, std::nullopt, [&](const Triple& use) {
+        emit(Triple(use.s, kType, t.o));
+        return true;
+      });
+      return true;
+    });
+    emit(Triple(t.s, kSp, t.s));  // rule (10)
+    emit(Triple(t.o, kSc, t.o));  // rule (12)
+  } else if (t.p == kRange) {
+    // Rule (7), t as the (A, range, B) premise.
+    g.Match(std::nullopt, kSp, t.s, [&](const Triple& e) {
+      g.Match(std::nullopt, e.s, std::nullopt, [&](const Triple& use) {
+        emit(Triple(use.o, kType, t.o));
+        return true;
+      });
+      return true;
+    });
+    emit(Triple(t.s, kSp, t.s));  // rule (10)
+    emit(Triple(t.o, kSc, t.o));  // rule (12)
+  }
+}
+
+// Over-delete for the DRed deletion path: collects every closure triple
+// forward-reachable from a deleted triple through a rule application,
+// joining directly against the closure graph's own permutation indexes
+// (the suspect cone is typically tiny, so seeding a full engine over
+// |cl| would dominate). A triple provably still in the new closure —
+// asserted in base_after or one-step derivable from it — is never
+// suspected, which stops the reflexivity rules from tainting whole
+// derivation cycles.
+std::unordered_set<Triple> CollectSuspects(const Graph& cl,
+                                           const Graph& deleted,
+                                           const Graph& base_after) {
+  std::unordered_set<Triple> suspects;
+  std::unordered_set<Triple> cleared;  // memoized protection verdicts
+  std::vector<Triple> work;
+  auto mark = [&](const Triple& c) {
+    if (!c.IsWellFormedData()) return;
+    if (!cl.Contains(c)) return;
+    if (suspects.count(c) || cleared.count(c)) return;
+    if (base_after.Contains(c) || DerivableOneStep(base_after, c)) {
+      cleared.insert(c);
+      return;
+    }
+    suspects.insert(c);
+    work.push_back(c);
+  };
+  for (const Triple& t : deleted) mark(t);
+  while (!work.empty()) {
+    const Triple t = work.back();
+    work.pop_back();
+    ForEachConsequence(cl, t, mark);
+  }
+  return suspects;
+}
+
+// Semi-naive forward worklist: derives everything downstream of `work`
+// (whose triples must already be in g), inserting conclusions into g in
+// place. Each conclusion batch is buffered so g is never mutated while
+// its indexes are being matched.
+void PropagateInsertions(Graph& g, std::vector<Triple> work) {
+  std::vector<Triple> found;
+  while (!work.empty()) {
+    const Triple t = work.back();
+    work.pop_back();
+    found.clear();
+    ForEachConsequence(g, t, [&](const Triple& c) {
+      if (c.IsWellFormedData() && !g.Contains(c)) found.push_back(c);
+    });
+    for (const Triple& c : found) {
+      if (g.Insert(c)) work.push_back(c);
+    }
+  }
+}
+
 }  // namespace
 
 
 Graph RdfsClosure(const Graph& g, std::vector<RuleApplication>* trace) {
   ClosureEngine engine(g, trace, RuleSet::All());
-  return engine.Run();
+  engine.RunToFixpoint();
+  return engine.TakeResult();
 }
 
 Graph RdfsClosureWithRules(const Graph& g, const RuleSet& rules) {
   ClosureEngine engine(g, /*trace=*/nullptr, rules);
-  return engine.Run();
+  engine.RunToFixpoint();
+  return engine.TakeResult();
+}
+
+Graph RdfsClosureDelta(const Graph& closure, const Graph& delta_inserts,
+                       std::vector<RuleApplication>* trace,
+                       ClosureDeltaStats* stats) {
+  ClosureEngine engine(closure, delta_inserts, trace, RuleSet::All());
+  engine.RunToFixpoint();
+  Graph out = engine.TakeResult();
+  if (stats != nullptr) {
+    stats->delta_size = 0;
+    for (const Triple& t : delta_inserts) {
+      if (!closure.Contains(t)) ++stats->delta_size;
+    }
+    stats->derived = out.size() - closure.size();
+    stats->overdeleted = 0;
+    stats->rederived = 0;
+  }
+  return out;
+}
+
+Graph RdfsClosureErase(const Graph& closure, const Graph& base_after,
+                       const Graph& deleted, ClosureDeltaStats* stats) {
+  // Fast path: a deleted triple that is still one-step derivable from
+  // the remaining base keeps the closure intact; if every deleted
+  // triple is, nothing can fall out and the whole pass is skippable.
+  bool all_protected = true;
+  for (const Triple& t : deleted) {
+    if (!DerivableOneStep(base_after, t)) {
+      all_protected = false;
+      break;
+    }
+  }
+  if (all_protected) {
+    if (stats != nullptr) {
+      stats->delta_size = deleted.size();
+      stats->derived = 0;
+      stats->overdeleted = 0;
+      stats->rederived = 0;
+    }
+    return closure;
+  }
+
+  // (1) Over-delete: everything forward-reachable from a deleted triple
+  // through a rule application becomes suspect.
+  std::unordered_set<Triple> suspects =
+      CollectSuspects(closure, deleted, base_after);
+
+  // (2) The untainted remainder survives unconditionally: a triple with
+  // no derivation path touching a deleted triple keeps its derivation.
+  // For the usual tiny suspect cone, patching a copy of the closure in
+  // place reuses its already-built indexes; a cone that is a sizable
+  // fraction of |cl| would turn the per-erase memmoves quadratic, so
+  // fall back to one filtered pass (which rebuilds indexes lazily).
+  Graph out;
+  if (suspects.size() * 16 <= closure.size()) {
+    out = closure;
+    for (const Triple& t : suspects) out.Erase(t);
+  } else {
+    std::vector<Triple> kept;
+    kept.reserve(closure.size() - suspects.size());
+    for (const Triple& t : closure) {
+      if (!suspects.count(t)) kept.push_back(t);
+    }
+    out = Graph(std::move(kept));
+  }
+  const size_t kept_size = out.size();
+
+  // (3) Re-derive: a suspect re-enters if it is still asserted in the
+  // base or one-step derivable from the survivors; the semi-naive
+  // worklist then replays everything downstream of the rescued triples.
+  std::vector<Triple> rescued;
+  for (const Triple& t : suspects) {
+    if (base_after.Contains(t) || DerivableOneStep(out, t)) {
+      rescued.push_back(t);
+    }
+  }
+  for (const Triple& t : rescued) out.Insert(t);
+  PropagateInsertions(out, std::move(rescued));
+  if (stats != nullptr) {
+    stats->delta_size = deleted.size();
+    stats->derived = 0;
+    stats->overdeleted = suspects.size();
+    stats->rederived = out.size() - kept_size;
+  }
+  return out;
 }
 
 Graph RdfsClosureNaive(const Graph& g) {
@@ -355,6 +745,102 @@ Graph RdfsClosureNaive(const Graph& g) {
         result.Insert(c);
       }
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalClosure
+
+/// Wraps a live ClosureEngine so its join indexes persist across
+/// updates: an insert enqueues only the delta and resumes the fixpoint.
+class IncrementalClosure::Impl {
+ public:
+  explicit Impl(const Graph& base)
+      : engine_(base, /*trace=*/nullptr, RuleSet::All()) {
+    engine_.RunToFixpoint();
+  }
+
+  /// Re-seeds from an already-closed graph (post-deletion rebuild).
+  struct ReseedTag {};
+  Impl(const Graph& closed, ReseedTag)
+      : engine_(closed, Graph(), /*trace=*/nullptr, RuleSet::All()) {
+    engine_.RunToFixpoint();  // no-op unless the seed had gaps
+  }
+
+  /// Returns the number of newly derived triples (delta included).
+  size_t InsertDelta(const Graph& delta) {
+    const size_t before = engine_.known_size();
+    engine_.EnqueueDelta(delta);
+    engine_.RunToFixpoint();
+    return engine_.known_size() - before;
+  }
+
+  const std::vector<Triple>& worklist() const { return engine_.worklist(); }
+
+ private:
+  ClosureEngine engine_;
+};
+
+IncrementalClosure::IncrementalClosure(const Graph& base)
+    : impl_(std::make_unique<Impl>(base)),
+      closure_(std::vector<Triple>(impl_->worklist())),
+      version_(1) {}
+
+IncrementalClosure::~IncrementalClosure() = default;
+IncrementalClosure::IncrementalClosure(IncrementalClosure&&) noexcept =
+    default;
+IncrementalClosure& IncrementalClosure::operator=(
+    IncrementalClosure&&) noexcept = default;
+
+void IncrementalClosure::InsertDelta(const Graph& delta,
+                                     ClosureDeltaStats* stats) {
+  size_t fresh = 0;
+  for (const Triple& t : delta) {
+    if (!closure_.Contains(t)) ++fresh;
+  }
+  if (impl_ == nullptr) {
+    // Deferred rebuild after a deletion (see EraseDelta): re-seed the
+    // engine from the maintained closure now that we need it again.
+    impl_ = std::make_unique<Impl>(closure_, Impl::ReseedTag{});
+  }
+  const size_t derived = impl_->InsertDelta(delta);
+  if (stats != nullptr) {
+    stats->delta_size = fresh;
+    stats->derived = derived;
+    stats->overdeleted = 0;
+    stats->rederived = 0;
+  }
+  if (derived == 0) return;
+  // Fold the newly derived slice into the maintained graph: small
+  // slices take the single-insert path (which patches the permutation
+  // indexes in place), large ones the batched merge-and-rebuild.
+  const std::vector<Triple>& wl = impl_->worklist();
+  constexpr size_t kPatchThreshold = 16;
+  if (derived <= kPatchThreshold) {
+    for (size_t i = wl.size() - derived; i < wl.size(); ++i) {
+      closure_.Insert(wl[i]);
+    }
+  } else {
+    closure_.InsertAll(
+        Graph(std::vector<Triple>(wl.end() - derived, wl.end())));
+  }
+  ++version_;
+}
+
+void IncrementalClosure::EraseDelta(const Graph& base_after,
+                                    const Graph& deleted,
+                                    ClosureDeltaStats* stats) {
+  Graph next = RdfsClosureErase(closure_, base_after, deleted, stats);
+  // RdfsClosureErase never derives outside the old closure, so a size
+  // match means content match.
+  const bool changed = next.size() != closure_.size();
+  if (changed) {
+    // The engine's indexes still reference dropped triples; rebuilding
+    // is O(|closure|), so defer it until the next insert actually needs
+    // a live engine — erase-heavy series never pay for it.
+    impl_.reset();
+    closure_ = std::move(next);
+    ++version_;
   }
 }
 
@@ -373,25 +859,45 @@ Graph SemanticClosure(const Graph& g, Dictionary* dict) {
 // ---------------------------------------------------------------------------
 // ClosureMembership
 
-ClosureMembership::ClosureMembership(const Graph& g) : g_(&g) {
+ClosureMembership::ClosureMembership(const Graph& g)
+    : g_(&g), built_epoch_(g.epoch()) {
+  Build();
+}
+
+bool ClosureMembership::InSync() const {
+  return g_->epoch() == built_epoch_;
+}
+
+void ClosureMembership::Refresh() {
+  direct_ = true;
+  sp_fwd_.clear();
+  sc_fwd_.clear();
+  props_.clear();
+  classes_.clear();
+  materialized_.reset();
+  built_epoch_ = g_->epoch();
+  Build();
+}
+
+void ClosureMembership::Build() {
   // The direct case analysis below is valid when no reserved keyword
   // occurs in subject or object position — the same restriction the paper
   // places on graphs in Thm 3.16. Outside it, triples like (p, sp, sc) or
   // (type, dom, a) let rules (3), (6) and (7) mint sp/sc/dom/range/type
   // triples through cascades the analysis does not model, so we answer
   // from a materialized closure instead.
-  for (const Triple& t : g) {
+  for (const Triple& t : *g_) {
     if (vocab::IsRdfsVocab(t.s) || vocab::IsRdfsVocab(t.o)) {
       direct_ = false;
       break;
     }
   }
   if (!direct_) {
-    materialized_ = RdfsClosure(g);
+    materialized_ = RdfsClosure(*g_);
     return;
   }
 
-  for (const Triple& t : g) {
+  for (const Triple& t : *g_) {
     props_.insert(t.p);  // rule (8)
     if (t.p == kSp) {
       sp_fwd_[t.s].push_back(t.o);
@@ -430,6 +936,9 @@ bool ClosureMembership::Reaches(
 }
 
 bool ClosureMembership::Contains(const Triple& t) const {
+  SWDB_CHECK(InSync(),
+             "ClosureMembership used after the underlying graph mutated "
+             "(epoch mismatch); call Refresh() first");
   if (!direct_) return materialized_->Contains(t);
   return DirectContains(t);
 }

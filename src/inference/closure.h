@@ -1,6 +1,8 @@
 #ifndef SWDB_INFERENCE_CLOSURE_H_
 #define SWDB_INFERENCE_CLOSURE_H_
 
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -60,6 +62,78 @@ struct RuleSet {
 /// proof-grade traces.
 Graph RdfsClosureWithRules(const Graph& g, const RuleSet& rules);
 
+/// Observability counters for one incremental maintenance step.
+struct ClosureDeltaStats {
+  size_t delta_size = 0;    ///< input triples that were actually new
+  size_t derived = 0;       ///< triples the step added to the closure
+  size_t overdeleted = 0;   ///< closure triples suspected by a deletion
+  size_t rederived = 0;     ///< suspects that survived re-derivation
+};
+
+/// Semi-naive delta extension of an existing closure (the monotone-
+/// fixpoint reading of Def. 2.7): given `closure` = RDFS-cl(G) for some
+/// G, returns RDFS-cl(G ∪ delta_inserts) by propagating only from the
+/// delta — closure triples are seeded into the join indexes but never
+/// re-expanded, so the work is proportional to the new derivations (plus
+/// one linear seeding pass), not to a full refixpoint.
+///
+/// If `trace` is non-null it receives one validating RuleApplication per
+/// *newly* derived triple, exactly as RdfsClosure would for those.
+Graph RdfsClosureDelta(const Graph& closure, const Graph& delta_inserts,
+                       std::vector<RuleApplication>* trace = nullptr,
+                       ClosureDeltaStats* stats = nullptr);
+
+/// DRed-style deletion maintenance: given `closure` = RDFS-cl(G),
+/// `deleted` ⊆ G and `base_after` = G \ deleted, returns
+/// RDFS-cl(base_after) by (1) over-deleting everything forward-reachable
+/// from the deleted triples through a rule application, (2) keeping the
+/// untainted remainder P, and (3) re-deriving: suspects still in the
+/// base or one-step derivable from P re-enter a semi-naive fixpoint over
+/// P. Result is exactly the from-scratch closure (cross-checked in
+/// tests), at cost proportional to the suspect set.
+Graph RdfsClosureErase(const Graph& closure, const Graph& base_after,
+                       const Graph& deleted,
+                       ClosureDeltaStats* stats = nullptr);
+
+/// A persistent incremental-maintenance engine for RDFS-cl(G): the
+/// worklist engine's join indexes stay alive between updates, so a
+/// single-triple insert costs only its new derivations — no re-seeding,
+/// no refixpoint. This is what Database uses to keep its closure cache
+/// maintained instead of resetting it on every mutation.
+///
+/// Deletions run the DRed over-delete/re-derive pass and rebuild the
+/// engine state from the surviving triples (deletion is O(|closure|);
+/// insertion is O(|new derivations| + |closure| merge).
+class IncrementalClosure {
+ public:
+  /// Full fixpoint over `base`.
+  explicit IncrementalClosure(const Graph& base);
+  ~IncrementalClosure();
+  IncrementalClosure(IncrementalClosure&&) noexcept;
+  IncrementalClosure& operator=(IncrementalClosure&&) noexcept;
+
+  /// The maintained closure. Reference stays valid across updates.
+  const Graph& closure() const { return closure_; }
+
+  /// Content version: bumped exactly when closure() changes.
+  uint64_t version() const { return version_; }
+
+  /// Extends the closure by RDFS-cl(base ∪ delta) via semi-naive
+  /// propagation from the delta only.
+  void InsertDelta(const Graph& delta, ClosureDeltaStats* stats = nullptr);
+
+  /// Removes `deleted` from the base (which is now `base_after`) and
+  /// re-establishes closure() = RDFS-cl(base_after) via DRed.
+  void EraseDelta(const Graph& base_after, const Graph& deleted,
+                  ClosureDeltaStats* stats = nullptr);
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+  Graph closure_;
+  uint64_t version_ = 0;
+};
+
 /// Computes the semantic closure cl(G) of Def. 3.5: for ground graphs
 /// the maximal equivalent ground extension, in general H_* where H is a
 /// closure of the Skolemization G^*. Theorem 3.6(2) states
@@ -78,22 +152,37 @@ Graph SemanticClosure(const Graph& g, Dictionary* dict);
 /// materialized closure instead (IsDirect() reports which mode is used).
 class ClosureMembership {
  public:
+  /// Captures g.epoch(); the graph must outlive the index. Any use after
+  /// the graph mutates is a detected error (see InSync/Refresh) — the
+  /// index never silently serves stale answers.
   explicit ClosureMembership(const Graph& g);
 
-  /// True iff t ∈ RDFS-cl(g).
+  /// True iff t ∈ RDFS-cl(g). Aborts (SWDB_CHECK) if the underlying
+  /// graph has mutated since construction/Refresh.
   bool Contains(const Triple& t) const;
 
   /// True if the linear-time direct procedure is in use (no materialized
   /// closure).
   bool IsDirect() const { return direct_; }
 
+  /// True iff the underlying graph is still at the epoch this index was
+  /// built from.
+  bool InSync() const;
+  /// The graph epoch the index was built at.
+  uint64_t built_epoch() const { return built_epoch_; }
+  /// Rebuilds the sp/sc adjacency (or materialized fallback) from the
+  /// graph's current state and re-captures its epoch.
+  void Refresh();
+
  private:
+  void Build();
   bool DirectContains(const Triple& t) const;
   // Reachability a →* b in the given forward-adjacency relation.
   bool Reaches(const std::unordered_map<Term, std::vector<Term>>& fwd,
                Term a, Term b) const;
 
   const Graph* g_;
+  uint64_t built_epoch_ = 0;
   bool direct_ = true;
 
   // Direct mode state.

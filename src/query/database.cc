@@ -1,9 +1,11 @@
 #include "query/database.h"
 
 #include "inference/closure.h"
+#include "normal/core.h"
 #include "normal/normal_form.h"
 #include "parser/text.h"
 #include "rdf/map.h"
+#include "util/check.h"
 
 namespace swdb {
 
@@ -11,14 +13,37 @@ Database::Database(Dictionary* dict, EvalOptions options)
     : dict_(dict), evaluator_(dict, options), options_(options) {}
 
 bool Database::Insert(const Triple& t) {
-  bool added = data_.Insert(t);
-  if (added) Invalidate();
-  return added;
+  // Copy first: t may alias data_'s own storage (e.g. a reference
+  // obtained from graph()), which the mutation below shifts.
+  Triple copy = t;
+  if (!data_.Insert(copy)) return false;
+  ++stats_.inserts;
+  MaintainInsert(Graph({copy}));
+  return true;
 }
 
 void Database::InsertGraph(const Graph& g) {
-  data_.InsertAll(g);
-  Invalidate();
+  // Collect the actually-new part first: maintenance propagates from the
+  // real delta, and an all-duplicates insert must not invalidate
+  // anything.
+  std::vector<Triple> fresh;
+  for (const Triple& t : g) {
+    if (!data_.Contains(t)) fresh.push_back(t);
+  }
+  if (fresh.empty()) return;
+  stats_.inserts += fresh.size();
+  Graph delta(std::move(fresh));
+  data_.InsertAll(delta);
+  if (closure_.has_value() &&
+      delta.size() > closure_->closure().size() / 2) {
+    // Bulk load: replaying a delta comparable to the closure itself is
+    // slower than one batched refixpoint on next use.
+    closure_.reset();
+    normalized_.reset();
+    ++stats_.closure_bulk_resets;
+    return;
+  }
+  MaintainInsert(delta);
 }
 
 Status Database::InsertText(std::string_view text) {
@@ -29,20 +54,102 @@ Status Database::InsertText(std::string_view text) {
 }
 
 bool Database::Erase(const Triple& t) {
-  bool removed = data_.Erase(t);
-  if (removed) Invalidate();
-  return removed;
+  // Copy first: erasing a triple referenced out of graph() is the
+  // natural call pattern, and data_.Erase shifts the storage t may
+  // alias — the maintenance pass below must see the original value.
+  Triple copy = t;
+  if (!data_.Erase(copy)) return false;
+  ++stats_.erases;
+  MaintainErase(Graph({copy}));
+  return true;
+}
+
+Database::ApplyResult Database::Apply(const MutationBatch& batch) {
+  ++stats_.batches;
+  ApplyResult result;
+  std::vector<Triple> erased;
+  for (const Triple& t : batch.erases_) {
+    if (data_.Erase(t)) erased.push_back(t);
+  }
+  result.erased = erased.size();
+  stats_.erases += erased.size();
+  if (!erased.empty()) MaintainErase(Graph(std::move(erased)));
+
+  std::vector<Triple> inserted;
+  for (const Triple& t : batch.inserts_) {
+    if (data_.Insert(t)) inserted.push_back(t);
+  }
+  result.inserted = inserted.size();
+  stats_.inserts += inserted.size();
+  if (!inserted.empty()) MaintainInsert(Graph(std::move(inserted)));
+  return result;
+}
+
+void Database::MaintainInsert(const Graph& delta) {
+  if (!closure_.has_value()) return;  // not materialized yet: stay lazy
+  ClosureDeltaStats ds;
+  closure_->InsertDelta(delta, &ds);
+  closure_epoch_ = data_.epoch();
+  ++stats_.closure_delta_updates;
+  stats_.closure_delta_derived += ds.derived;
+}
+
+void Database::MaintainErase(const Graph& deleted) {
+  if (!closure_.has_value()) return;
+  ClosureDeltaStats ds;
+  closure_->EraseDelta(data_, deleted, &ds);
+  closure_epoch_ = data_.epoch();
+  ++stats_.closure_erase_updates;
+  stats_.closure_overdeleted += ds.overdeleted;
+  stats_.closure_rederived += ds.rederived;
+}
+
+const Graph& Database::Closure() {
+  if (!closure_.has_value()) {
+    closure_.emplace(data_);
+    closure_epoch_ = data_.epoch();
+    ++stats_.closure_full_builds;
+  } else {
+    SWDB_CHECK(closure_epoch_ == data_.epoch(),
+               "maintained closure out of sync with the data graph");
+    ++stats_.closure_cache_hits;
+  }
+  return closure_->closure();
 }
 
 const Graph& Database::Normalized() {
-  if (!normalized_.has_value()) {
-    normalized_ = options_.use_closure_only ? RdfsClosure(data_)
-                                            : NormalForm(data_);
+  if (options_.use_closure_only) return Closure();
+  const Graph& cl = Closure();
+  if (normalized_.has_value() && nf_version_ == closure_->version()) {
+    ++stats_.nf_cache_hits;
+    return *normalized_;
   }
+  normalized_ = Core(cl);
+  nf_version_ = closure_->version();
+  ++stats_.nf_rebuilds;
   return *normalized_;
 }
 
-bool Database::Entails(const Graph& q) { return RdfsEntails(data_, q); }
+bool Database::Entails(const Graph& q) {
+  Result<bool> r = TryHasHomomorphism(q, Closure());
+  SWDB_CHECK(r.ok(),
+             "RDFS-entailment step budget exhausted; use TryRdfsEntails "
+             "with explicit MatchOptions for graceful degradation");
+  return *r;
+}
+
+bool Database::EntailsTriple(const Triple& t) {
+  if (!membership_.has_value() || !membership_->InSync()) {
+    if (membership_.has_value()) {
+      membership_->Refresh();
+    } else {
+      membership_.emplace(data_);
+    }
+    ++stats_.membership_builds;
+  }
+  ++stats_.membership_queries;
+  return membership_->Contains(t);
+}
 
 Result<std::vector<Graph>> Database::PreAnswer(const Query& q) {
   if (q.premise.empty()) {

@@ -1,10 +1,12 @@
 #ifndef SWDB_QUERY_DATABASE_H_
 #define SWDB_QUERY_DATABASE_H_
 
+#include <cstdint>
 #include <optional>
 #include <string_view>
 #include <vector>
 
+#include "inference/closure.h"
 #include "query/answer.h"
 #include "query/query.h"
 #include "rdf/graph.h"
@@ -13,38 +15,111 @@
 
 namespace swdb {
 
-/// A mutable RDF database with cached normalization — the convenience
-/// facade a downstream user works against.
+/// Observability counters for the incremental maintenance engine. All
+/// counters are cumulative since construction (or ResetStats).
+struct DatabaseStats {
+  uint64_t inserts = 0;  ///< triples actually added
+  uint64_t erases = 0;   ///< triples actually removed
+  uint64_t batches = 0;  ///< Apply() calls
+
+  uint64_t closure_full_builds = 0;     ///< from-scratch closure fixpoints
+  uint64_t closure_delta_updates = 0;   ///< semi-naive insert maintenances
+  uint64_t closure_erase_updates = 0;   ///< DRed deletion maintenances
+  uint64_t closure_bulk_resets = 0;     ///< bulk loads that dropped the cache
+  uint64_t closure_cache_hits = 0;      ///< Closure() served without work
+  uint64_t closure_delta_derived = 0;   ///< triples derived by delta updates
+  uint64_t closure_overdeleted = 0;     ///< DRed suspects, cumulative
+  uint64_t closure_rederived = 0;       ///< DRed re-derivations, cumulative
+
+  uint64_t nf_rebuilds = 0;    ///< core recomputations over the closure
+  uint64_t nf_cache_hits = 0;  ///< Normalized() served from cache
+
+  uint64_t membership_builds = 0;   ///< ClosureMembership (re)builds
+  uint64_t membership_queries = 0;  ///< EntailsTriple calls
+};
+
+/// A group of mutations applied atomically by Database::Apply, so the
+/// maintenance engine runs once per batch (one DRed pass for the
+/// erases, one semi-naive pass for the inserts) instead of once per
+/// triple.
+class MutationBatch {
+ public:
+  MutationBatch& Insert(const Triple& t) {
+    inserts_.push_back(t);
+    return *this;
+  }
+  MutationBatch& Erase(const Triple& t) {
+    erases_.push_back(t);
+    return *this;
+  }
+  bool empty() const { return inserts_.empty() && erases_.empty(); }
+  size_t size() const { return inserts_.size() + erases_.size(); }
+
+ private:
+  friend class Database;
+  std::vector<Triple> inserts_;
+  std::vector<Triple> erases_;
+};
+
+/// A mutable RDF database with *maintained* cached artifacts — the
+/// convenience facade a downstream user works against.
 ///
-/// The underlying data graph can be mutated freely; the normal form
-/// nf(D) that query matching runs on (§4.1, Note 4.4) is computed
-/// lazily and invalidated on every mutation. Premise-free queries reuse
-/// the cached normal form; queries with premises fall back to per-call
-/// normalization of D + P.
+/// The derived artifacts (RDFS-cl(D); nf(D) = core(cl(D)), §4.1,
+/// Note 4.4; the closure-membership index) are computed lazily on first
+/// use, and from then on *maintained* across mutations instead of being
+/// reset: inserts extend the closure by semi-naive delta propagation
+/// (the monotone-fixpoint reading of Def. 2.7), deletions run a DRed
+/// over-delete/re-derive pass, and every artifact carries the graph
+/// epoch / closure version it reflects so staleness is structurally
+/// impossible rather than merely unlikely. Bulk loads larger than the
+/// current closure fall back to dropping the cache (a batched rebuild
+/// beats replaying a huge delta). Premise-bearing queries still
+/// normalize D + P per call.
 class Database {
  public:
+  struct ApplyResult {
+    size_t inserted = 0;  ///< batch inserts that were new
+    size_t erased = 0;    ///< batch erases that were present
+  };
+
   /// The dictionary must outlive the database.
   explicit Database(Dictionary* dict, EvalOptions options = {});
 
   Dictionary* dict() { return dict_; }
   const Graph& graph() const { return data_; }
   size_t size() const { return data_.size(); }
+  /// The data graph's mutation epoch (see Graph::epoch).
+  uint64_t epoch() const { return data_.epoch(); }
 
-  /// Inserts a triple; returns true if new. Invalidates the cache.
+  /// Inserts a triple; returns true if new. Maintains the cached
+  /// closure incrementally if it exists.
   bool Insert(const Triple& t);
-  /// Inserts all triples of a graph.
+  /// Inserts all triples of a graph (one maintenance pass; bulk loads
+  /// may drop the cache instead — see class comment).
   void InsertGraph(const Graph& g);
   /// Parses and inserts N-Triples-style text.
   Status InsertText(std::string_view text);
-  /// Removes a triple; returns true if it was present.
+  /// Removes a triple; returns true if it was present. Maintains the
+  /// cached closure via DRed if it exists.
   bool Erase(const Triple& t);
+  /// Applies a batch of erases then inserts as one maintenance step.
+  ApplyResult Apply(const MutationBatch& batch);
 
-  /// nf(D) (or its closure under use_closure_only), computed on first
-  /// use and cached until the next mutation.
+  /// RDFS-cl(D), computed on first use and maintained thereafter.
+  const Graph& Closure();
+
+  /// nf(D) (or its closure under use_closure_only), recomputed only
+  /// when the maintained closure actually changed.
   const Graph& Normalized();
 
-  /// RDFS entailment D ⊨ q (Thm 2.8).
+  /// RDFS entailment D ⊨ q (Thm 2.8), evaluated against the maintained
+  /// closure (no per-call refixpoint).
   bool Entails(const Graph& q);
+
+  /// t ∈ RDFS-cl(D) through the maintained membership index (paper
+  /// Thm 3.6(4) shape): O(|D|) per query, no materialization in the
+  /// common case.
+  bool EntailsTriple(const Triple& t);
 
   /// Single answers of a query (§4.1).
   Result<std::vector<Graph>> PreAnswer(const Query& q);
@@ -55,14 +130,30 @@ class Database {
   /// Parses the query text and evaluates under union semantics.
   Result<Graph> ExecuteQuery(std::string_view query_text);
 
+  /// Maintenance-engine counters.
+  const DatabaseStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DatabaseStats(); }
+
  private:
-  void Invalidate() { normalized_.reset(); }
+  // Incremental maintenance steps; no-ops while no closure is cached.
+  void MaintainInsert(const Graph& delta);
+  void MaintainErase(const Graph& deleted);
 
   Dictionary* dict_;
   Graph data_;
   QueryEvaluator evaluator_;
   EvalOptions options_;
+
+  // Maintained artifacts, each tagged with the state it reflects:
+  // the closure with the data epoch, nf with the closure version, the
+  // membership index with the data epoch (internally, via Graph::epoch).
+  std::optional<IncrementalClosure> closure_;
+  uint64_t closure_epoch_ = 0;
   std::optional<Graph> normalized_;
+  uint64_t nf_version_ = 0;
+  std::optional<ClosureMembership> membership_;
+
+  DatabaseStats stats_;
 };
 
 }  // namespace swdb

@@ -20,6 +20,30 @@ const char* IndexOrderName(IndexOrder order) {
   return "?";
 }
 
+namespace {
+
+// Total orders backing the three permutation indexes. Each compares all
+// three positions, so equal keys imply equal triples (which the primary
+// vector deduplicates) — lookups into a permutation land on exactly one
+// slot.
+inline bool LessPso(const Triple& x, const Triple& y) {
+  if (x.p != y.p) return x.p < y.p;
+  if (x.s != y.s) return x.s < y.s;
+  return x.o < y.o;
+}
+inline bool LessPos(const Triple& x, const Triple& y) {
+  if (x.p != y.p) return x.p < y.p;
+  if (x.o != y.o) return x.o < y.o;
+  return x.s < y.s;
+}
+inline bool LessOsp(const Triple& x, const Triple& y) {
+  if (x.o != y.o) return x.o < y.o;
+  if (x.s != y.s) return x.s < y.s;
+  return x.p < y.p;
+}
+
+}  // namespace
+
 Graph::Graph(std::initializer_list<Triple> triples)
     : triples_(triples) {
   Normalize();
@@ -39,8 +63,10 @@ void Graph::Normalize() {
 bool Graph::Insert(const Triple& t) {
   auto it = std::lower_bound(triples_.begin(), triples_.end(), t);
   if (it != triples_.end() && *it == t) return false;
+  const uint32_t pos = static_cast<uint32_t>(it - triples_.begin());
   triples_.insert(it, t);
-  indexes_valid_ = false;
+  ++epoch_;
+  if (indexes_valid_) PatchIndexesInsert(pos);
   return true;
 }
 
@@ -50,16 +76,59 @@ void Graph::InsertAll(const Graph& other) {
   merged.reserve(triples_.size() + other.triples_.size());
   std::set_union(triples_.begin(), triples_.end(), other.triples_.begin(),
                  other.triples_.end(), std::back_inserter(merged));
+  if (merged.size() == triples_.size()) return;  // other ⊆ *this: no-op
   triples_ = std::move(merged);
-  indexes_valid_ = false;
+  ++epoch_;
+  indexes_valid_ = false;  // bulk path: batched rebuild on next lookup
 }
 
 bool Graph::Erase(const Triple& t) {
   auto it = std::lower_bound(triples_.begin(), triples_.end(), t);
   if (it == triples_.end() || *it != t) return false;
+  const uint32_t pos = static_cast<uint32_t>(it - triples_.begin());
+  if (indexes_valid_) PatchIndexesErase(pos);  // before triples_ shifts
   triples_.erase(it);
-  indexes_valid_ = false;
+  ++epoch_;
   return true;
+}
+
+void Graph::PatchIndexesInsert(uint32_t pos) {
+  // triples_[pos] is already in place; every pre-existing primary id at
+  // or above pos shifted up by one. Renumber, then sorted-insert the new
+  // id into each permutation.
+  auto patch = [&](std::vector<uint32_t>& perm, auto&& less) {
+    for (uint32_t& id : perm) {
+      if (id >= pos) ++id;
+    }
+    auto it = std::lower_bound(
+        perm.begin(), perm.end(), pos, [&](uint32_t a, uint32_t b) {
+          return less(triples_[a], triples_[b]);
+        });
+    perm.insert(it, pos);
+  };
+  patch(pso_, LessPso);
+  patch(pos_, LessPos);
+  patch(osp_, LessOsp);
+}
+
+void Graph::PatchIndexesErase(uint32_t pos) {
+  // Called while triples_[pos] is still present: locate the id by binary
+  // search under each total order, remove it, renumber the tail.
+  auto patch = [&](std::vector<uint32_t>& perm, auto&& less) {
+    auto it = std::lower_bound(
+        perm.begin(), perm.end(), pos, [&](uint32_t a, uint32_t b) {
+          return less(triples_[a], triples_[b]);
+        });
+    // The orders are total over distinct triples, so lower_bound lands
+    // exactly on the slot holding pos.
+    perm.erase(it);
+    for (uint32_t& id : perm) {
+      if (id > pos) --id;
+    }
+  };
+  patch(pso_, LessPso);
+  patch(pos_, LessPos);
+  patch(osp_, LessOsp);
 }
 
 bool Graph::Contains(const Triple& t) const {
@@ -146,25 +215,13 @@ void Graph::EnsureIndexes() const {
   osp_.resize(n);
   for (uint32_t i = 0; i < n; ++i) pso_[i] = pos_[i] = osp_[i] = i;
   std::sort(pso_.begin(), pso_.end(), [this](uint32_t a, uint32_t b) {
-    const Triple& x = triples_[a];
-    const Triple& y = triples_[b];
-    if (x.p != y.p) return x.p < y.p;
-    if (x.s != y.s) return x.s < y.s;
-    return x.o < y.o;
+    return LessPso(triples_[a], triples_[b]);
   });
   std::sort(pos_.begin(), pos_.end(), [this](uint32_t a, uint32_t b) {
-    const Triple& x = triples_[a];
-    const Triple& y = triples_[b];
-    if (x.p != y.p) return x.p < y.p;
-    if (x.o != y.o) return x.o < y.o;
-    return x.s < y.s;
+    return LessPos(triples_[a], triples_[b]);
   });
   std::sort(osp_.begin(), osp_.end(), [this](uint32_t a, uint32_t b) {
-    const Triple& x = triples_[a];
-    const Triple& y = triples_[b];
-    if (x.o != y.o) return x.o < y.o;
-    if (x.s != y.s) return x.s < y.s;
-    return x.p < y.p;
+    return LessOsp(triples_[a], triples_[b]);
   });
   indexes_valid_ = true;
 }

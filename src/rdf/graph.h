@@ -127,8 +127,15 @@ class MatchRange {
 /// Triples are kept in a sorted, deduplicated vector in (s, p, o) order.
 /// Three auxiliary permutations in (p,s,o), (p,o,s) and (o,s,p) order are
 /// built lazily to serve the pattern-matching queries issued by the
-/// homomorphism solver and the closure fixpoint; any mutation invalidates
-/// them.
+/// homomorphism solver and the closure fixpoint. Single-triple
+/// Insert/Erase *maintain* built permutations in place (one sorted
+/// insert/erase of an id per order); only the bulk InsertAll path drops
+/// them for a batched rebuild. Either way, outstanding MatchRanges are
+/// invalidated by any mutation.
+///
+/// Every mutation that changes the triple set bumps an epoch counter, so
+/// derived structures (closure caches, membership indexes) can detect —
+/// rather than silently serve — staleness.
 ///
 /// Graph is equally used for *pattern* sets (query bodies/heads), in
 /// which case triples may contain variables.
@@ -149,6 +156,13 @@ class Graph {
   bool Erase(const Triple& t);
 
   bool Contains(const Triple& t) const;
+
+  /// Mutation epoch: starts at 0 and increments on every mutation that
+  /// changes the triple set (no-op inserts/erases do not count).
+  /// Structures caching derived state off this graph record the epoch
+  /// they were built at and compare to detect staleness.
+  uint64_t epoch() const { return epoch_; }
+
   size_t size() const { return triples_.size(); }
   bool empty() const { return triples_.empty(); }
   const_iterator begin() const { return triples_.begin(); }
@@ -213,9 +227,15 @@ class Graph {
  private:
   void Normalize();
   void EnsureIndexes() const;
+  // In-place maintenance of built permutations around a single-triple
+  // mutation at primary position `pos` (no-ops when indexes are stale).
+  void PatchIndexesInsert(uint32_t pos);
+  void PatchIndexesErase(uint32_t pos);
 
   // Sorted (s,p,o), deduplicated.
   std::vector<Triple> triples_;
+
+  uint64_t epoch_ = 0;
 
   // Lazily built permutations of indices into triples_.
   mutable bool indexes_valid_ = false;

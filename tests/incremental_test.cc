@@ -1,0 +1,473 @@
+// The incremental maintenance engine, cross-checked against from-scratch
+// recomputation:
+//   * RdfsClosureDelta / RdfsClosureErase vs RdfsClosure on random
+//     mutation sequences (including pathological vocabulary placements);
+//   * IncrementalClosure (the persistent engine) under interleaved
+//     insert/erase series;
+//   * Graph's in-place permutation-index maintenance vs freshly built
+//     indexes, across every bound-position combination;
+//   * the Database facade: ≥1000 random Insert/Erase/Apply/ExecuteQuery/
+//     Entails steps, asserting the maintained closure and nf(D) are
+//     bit-identical to scratch recomputation at every step.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "gen/generators.h"
+#include "inference/closure.h"
+#include "normal/normal_form.h"
+#include "query/database.h"
+#include "rdf/graph.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace swdb {
+namespace {
+
+using swdb::testing::Data;
+
+// A small universe that exercises every rule: schema terms, instances,
+// and (for the pathological variants) the reserved vocabulary itself.
+std::vector<Term> Universe(Dictionary* dict, bool pathological) {
+  std::vector<Term> terms = {
+      dict->Iri("u:a"), dict->Iri("u:b"), dict->Iri("u:c"),
+      dict->Iri("u:p"), dict->Iri("u:q"), dict->Iri("u:x"),
+      dict->Iri("u:y"), dict->Blank("uB1"), dict->Blank("uB2"),
+  };
+  if (pathological) {
+    for (Term v : vocab::kAll) terms.push_back(v);
+  }
+  return terms;
+}
+
+Triple RandomTriple(const std::vector<Term>& universe, Rng* rng,
+                    double schema_bias) {
+  Term s = universe[rng->Below(universe.size())];
+  Term o = universe[rng->Below(universe.size())];
+  Term p;
+  if (rng->Next() % 100 < static_cast<uint64_t>(schema_bias * 100)) {
+    p = vocab::kAll[rng->Below(vocab::kReservedIris)];
+  } else {
+    p = universe[rng->Below(universe.size())];
+  }
+  return Triple(s, p, o);
+}
+
+// ---------------------------------------------------------------------
+// Free-function delta maintenance vs scratch.
+// ---------------------------------------------------------------------
+
+TEST(RdfsClosureDelta, ExtendsClosureExactly) {
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "cat sc mammal .\n"
+                 "mammal sc animal .\n"
+                 "tom type cat .\n");
+  Graph cl = RdfsClosure(g);
+  Graph delta = Data(&dict, "animal sc being .\nfelix type cat .\n");
+  ClosureDeltaStats stats;
+  Graph incremental = RdfsClosureDelta(cl, delta, nullptr, &stats);
+  EXPECT_EQ(incremental, RdfsClosure(Graph::Union(g, delta)));
+  EXPECT_EQ(stats.delta_size, 2u);
+  EXPECT_GT(stats.derived, 0u);
+}
+
+TEST(RdfsClosureDelta, NoOpDeltaDerivesNothing) {
+  Dictionary dict;
+  Graph g = Data(&dict, "a sc b .\nb sc c .\n");
+  Graph cl = RdfsClosure(g);
+  // (a, sc, c) is already derived; re-asserting it must be free.
+  ClosureDeltaStats stats;
+  Graph incremental =
+      RdfsClosureDelta(cl, Data(&dict, "a sc c ."), nullptr, &stats);
+  EXPECT_EQ(incremental, cl);
+  EXPECT_EQ(stats.delta_size, 0u);
+  EXPECT_EQ(stats.derived, 0u);
+}
+
+TEST(RdfsClosureDelta, RecordsTraceForNewDerivationsOnly) {
+  Dictionary dict;
+  Graph g = Data(&dict, "a sc b .\n");
+  Graph cl = RdfsClosure(g);
+  std::vector<RuleApplication> trace;
+  Graph incremental =
+      RdfsClosureDelta(cl, Data(&dict, "b sc c ."), &trace);
+  EXPECT_EQ(incremental, RdfsClosure(Data(&dict, "a sc b .\nb sc c .")));
+  EXPECT_FALSE(trace.empty());
+  // Every traced application derives something new relative to the old
+  // closure (a single application may pair a new conclusion with an
+  // already-known one, e.g. rule (12) emitting both reflexivity edges).
+  for (const RuleApplication& app : trace) {
+    bool any_new = false;
+    for (const Triple& c : app.conclusions) {
+      any_new = any_new || !cl.Contains(c);
+    }
+    EXPECT_TRUE(any_new);
+  }
+}
+
+TEST(RdfsClosureErase, DeletedButRederivableTripleSurvives) {
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "a sc b .\n"
+                 "b sc c .\n"
+                 "a sc c .\n");  // asserted AND derivable
+  Graph cl = RdfsClosure(g);
+  Graph deleted = Data(&dict, "a sc c .");
+  Graph after = g;
+  after.Erase(deleted[0]);
+  ClosureDeltaStats stats;
+  Graph maintained = RdfsClosureErase(cl, after, deleted, &stats);
+  EXPECT_EQ(maintained, RdfsClosure(after));
+  EXPECT_TRUE(maintained.Contains(deleted[0]));  // rederived via chain
+  // The deleted triple is one-step derivable from the remaining base,
+  // so over-deletion protects it outright: no suspicion propagates.
+  EXPECT_EQ(stats.overdeleted, 0u);
+}
+
+TEST(RdfsClosureErase, DownstreamDerivationsFall) {
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "p dom c .\n"
+                 "c sc d .\n"
+                 "x p y .\n");
+  Graph cl = RdfsClosure(g);
+  Term x = dict.Iri("x");
+  Term d = dict.Iri("d");
+  ASSERT_TRUE(cl.Contains(Triple(x, vocab::kType, d)));
+  Graph deleted = Data(&dict, "x p y .");
+  Graph after = g;
+  after.Erase(deleted[0]);
+  Graph maintained = RdfsClosureErase(cl, after, deleted);
+  EXPECT_EQ(maintained, RdfsClosure(after));
+  EXPECT_FALSE(maintained.Contains(Triple(x, vocab::kType, d)));
+}
+
+// Randomized: arbitrary single-triple inserts and erases, pathological
+// vocabulary allowed everywhere, maintained closure must stay
+// bit-identical to the scratch recomputation.
+class DeltaClosureFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaClosureFuzz,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST_P(DeltaClosureFuzz, DeltaAndEraseMatchScratch) {
+  Dictionary dict;
+  Rng rng(GetParam());
+  const bool pathological = GetParam() % 2 == 0;
+  std::vector<Term> universe = Universe(&dict, pathological);
+  Graph base;
+  Graph cl = RdfsClosure(base);
+  for (int step = 0; step < 60; ++step) {
+    const bool erase = !base.empty() && rng.Below(100) < 35;
+    if (erase) {
+      Triple victim = base[rng.Below(base.size())];
+      base.Erase(victim);
+      cl = RdfsClosureErase(cl, base, Graph({victim}));
+    } else {
+      Triple t = RandomTriple(universe, &rng, 0.5);
+      if (!t.IsWellFormedData()) continue;
+      if (!base.Insert(t)) continue;
+      cl = RdfsClosureDelta(cl, Graph({t}));
+    }
+    ASSERT_EQ(cl, RdfsClosure(base))
+        << "seed " << GetParam() << " step " << step;
+  }
+}
+
+// ---------------------------------------------------------------------
+// IncrementalClosure: the persistent engine.
+// ---------------------------------------------------------------------
+
+TEST(IncrementalClosure, MaintainsAcrossInterleavedUpdates) {
+  Dictionary dict;
+  Rng rng(7);
+  std::vector<Term> universe = Universe(&dict, /*pathological=*/false);
+  Graph base = Data(&dict, "a sc b .\nx type a .\n");
+  IncrementalClosure inc(base);
+  EXPECT_EQ(inc.closure(), RdfsClosure(base));
+  uint64_t version = inc.version();
+  for (int step = 0; step < 40; ++step) {
+    if (!base.empty() && rng.Below(100) < 30) {
+      Triple victim = base[rng.Below(base.size())];
+      base.Erase(victim);
+      inc.EraseDelta(base, Graph({victim}));
+    } else {
+      Triple t = RandomTriple(universe, &rng, 0.5);
+      if (!t.IsWellFormedData() || !base.Insert(t)) continue;
+      inc.InsertDelta(Graph({t}));
+    }
+    ASSERT_EQ(inc.closure(), RdfsClosure(base)) << "step " << step;
+    ASSERT_GE(inc.version(), version);
+    version = inc.version();
+  }
+}
+
+TEST(IncrementalClosure, VersionBumpsOnlyOnContentChange) {
+  Dictionary dict;
+  Graph base = Data(&dict, "a sc b .\nb sc c .\n");
+  IncrementalClosure inc(base);
+  const uint64_t v0 = inc.version();
+  // Already derived: no content change, no version bump.
+  inc.InsertDelta(Data(&dict, "a sc c ."));
+  EXPECT_EQ(inc.version(), v0);
+  inc.InsertDelta(Data(&dict, "c sc d ."));
+  EXPECT_GT(inc.version(), v0);
+}
+
+// ---------------------------------------------------------------------
+// Graph: in-place permutation-index maintenance.
+// ---------------------------------------------------------------------
+
+// Compares every bound-position combination between the incrementally
+// maintained graph and a freshly indexed copy of the same triple set.
+void ExpectIndexesEquivalent(const Graph& maintained, Rng* rng,
+                             const std::vector<Term>& universe) {
+  Graph fresh(std::vector<Triple>(maintained.begin(), maintained.end()));
+  for (int i = 0; i < 40; ++i) {
+    std::optional<Term> s, p, o;
+    if (rng->Below(2)) s = universe[rng->Below(universe.size())];
+    if (rng->Below(2)) p = universe[rng->Below(universe.size())];
+    if (rng->Below(2)) o = universe[rng->Below(universe.size())];
+    std::vector<Triple> got, want;
+    maintained.Match(s, p, o, [&](const Triple& t) {
+      got.push_back(t);
+      return true;
+    });
+    fresh.Match(s, p, o, [&](const Triple& t) {
+      want.push_back(t);
+      return true;
+    });
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    ASSERT_EQ(got, want);
+    ASSERT_EQ(maintained.CountMatches(s, p, o), fresh.CountMatches(s, p, o));
+  }
+}
+
+TEST(GraphIndexMaintenance, PatchedIndexesMatchFreshRebuild) {
+  Dictionary dict;
+  Rng rng(11);
+  std::vector<Term> universe = Universe(&dict, /*pathological=*/false);
+  Graph g;
+  // Warm the permutation indexes so mutations take the patch path.
+  g.CountMatches(std::nullopt, universe[0], std::nullopt);
+  uint64_t epoch = g.epoch();
+  for (int step = 0; step < 300; ++step) {
+    if (!g.empty() && rng.Below(100) < 40) {
+      Triple victim = g[rng.Below(g.size())];
+      ASSERT_TRUE(g.Erase(victim));
+      ASSERT_GT(g.epoch(), epoch);
+    } else {
+      Triple t = RandomTriple(universe, &rng, 0.3);
+      if (!t.IsWellFormedData()) continue;
+      bool added = g.Insert(t);
+      ASSERT_EQ(g.epoch() > epoch, added);  // no-ops keep the epoch
+    }
+    epoch = g.epoch();
+    if (step % 10 == 0) ExpectIndexesEquivalent(g, &rng, universe);
+  }
+  ExpectIndexesEquivalent(g, &rng, universe);
+}
+
+TEST(GraphEpoch, CountsOnlyEffectiveMutations) {
+  Dictionary dict;
+  Graph g;
+  Triple t(dict.Iri("a"), dict.Iri("p"), dict.Iri("b"));
+  EXPECT_EQ(g.epoch(), 0u);
+  EXPECT_TRUE(g.Insert(t));
+  EXPECT_EQ(g.epoch(), 1u);
+  EXPECT_FALSE(g.Insert(t));  // duplicate
+  EXPECT_EQ(g.epoch(), 1u);
+  g.InsertAll(Graph({t}));  // subset: no-op
+  EXPECT_EQ(g.epoch(), 1u);
+  Triple u(dict.Iri("a"), dict.Iri("p"), dict.Iri("c"));
+  g.InsertAll(Graph({u}));
+  EXPECT_EQ(g.epoch(), 2u);
+  EXPECT_TRUE(g.Erase(t));
+  EXPECT_EQ(g.epoch(), 3u);
+  EXPECT_FALSE(g.Erase(t));  // absent
+  EXPECT_EQ(g.epoch(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// ClosureMembership: epoch awareness.
+// ---------------------------------------------------------------------
+
+TEST(ClosureMembershipEpoch, DetectsStalenessAndRefreshes) {
+  Dictionary dict;
+  Graph g = Data(&dict, "a sc b .\n");
+  ClosureMembership membership(g);
+  EXPECT_TRUE(membership.InSync());
+  Term a = dict.Iri("a");
+  Term c = dict.Iri("c");
+  EXPECT_FALSE(membership.Contains(Triple(a, vocab::kSc, c)));
+  g.Insert(Triple(dict.Iri("b"), vocab::kSc, c));
+  EXPECT_FALSE(membership.InSync());
+  membership.Refresh();
+  EXPECT_TRUE(membership.InSync());
+  EXPECT_EQ(membership.built_epoch(), g.epoch());
+  EXPECT_TRUE(membership.Contains(Triple(a, vocab::kSc, c)));
+}
+
+TEST(ClosureMembershipEpochDeathTest, StaleUseAborts) {
+  Dictionary dict;
+  Graph g = Data(&dict, "a sc b .\n");
+  ClosureMembership membership(g);
+  g.Insert(Triple(dict.Iri("b"), vocab::kSc, dict.Iri("c")));
+  EXPECT_DEATH(membership.Contains(g[0]), "epoch mismatch");
+}
+
+// ---------------------------------------------------------------------
+// Database: the full facade under random interleaved traffic.
+// ---------------------------------------------------------------------
+
+TEST(DatabaseIncremental, MutationBatchGroupsMaintenance) {
+  Dictionary dict;
+  Database db(&dict);
+  ASSERT_TRUE(db.InsertText("a sc b .\nb sc c .\nx type a .\n").ok());
+  (void)db.Normalized();  // materialize the caches
+  MutationBatch batch;
+  batch.Erase(Data(&dict, "b sc c .")[0])
+      .Insert(Triple(dict.Iri("c"), vocab::kSc, dict.Iri("d")))
+      .Insert(Triple(dict.Iri("y"), vocab::kType, dict.Iri("b")));
+  Database::ApplyResult r = db.Apply(batch);
+  EXPECT_EQ(r.erased, 1u);
+  EXPECT_EQ(r.inserted, 2u);
+  EXPECT_EQ(db.stats().batches, 1u);
+  EXPECT_EQ(db.Closure(), RdfsClosure(db.graph()));
+  EXPECT_EQ(db.Normalized(), NormalForm(db.graph()));
+  // One DRed pass + one delta pass, not one per triple.
+  EXPECT_EQ(db.stats().closure_erase_updates, 1u);
+  EXPECT_EQ(db.stats().closure_delta_updates, 1u);
+}
+
+TEST(DatabaseIncremental, StatsObserveMaintenance) {
+  Dictionary dict;
+  Database db(&dict);
+  ASSERT_TRUE(db.InsertText("a sc b .\n").ok());
+  EXPECT_EQ(db.stats().closure_full_builds, 0u);  // lazy
+  (void)db.Closure();
+  EXPECT_EQ(db.stats().closure_full_builds, 1u);
+  (void)db.Closure();
+  EXPECT_EQ(db.stats().closure_cache_hits, 1u);
+  db.Insert(Triple(dict.Iri("b"), vocab::kSc, dict.Iri("c")));
+  EXPECT_EQ(db.stats().closure_delta_updates, 1u);
+  EXPECT_EQ(db.stats().closure_full_builds, 1u);  // never recomputed
+  db.Erase(Triple(dict.Iri("b"), vocab::kSc, dict.Iri("c")));
+  EXPECT_EQ(db.stats().closure_erase_updates, 1u);
+  (void)db.Normalized();
+  (void)db.Normalized();
+  EXPECT_EQ(db.stats().nf_rebuilds, 1u);
+  EXPECT_EQ(db.stats().nf_cache_hits, 1u);
+  EXPECT_TRUE(db.EntailsTriple(Triple(dict.Iri("a"), vocab::kSc,
+                                      dict.Iri("b"))));
+  EXPECT_EQ(db.stats().membership_builds, 1u);
+}
+
+TEST(DatabaseIncremental, NfCacheSurvivesDerivableInserts) {
+  Dictionary dict;
+  Database db(&dict);
+  ASSERT_TRUE(db.InsertText("a sc b .\nb sc c .\n").ok());
+  (void)db.Normalized();
+  ASSERT_EQ(db.stats().nf_rebuilds, 1u);
+  // (a, sc, c) is already in the closure: the maintained closure does
+  // not change, so nf(D) must not be recomputed.
+  db.Insert(Triple(dict.Iri("a"), vocab::kSc, dict.Iri("c")));
+  (void)db.Normalized();
+  EXPECT_EQ(db.stats().nf_rebuilds, 1u);
+  EXPECT_EQ(db.stats().nf_cache_hits, 1u);
+}
+
+TEST(DatabaseIncremental, BulkLoadFallsBackToBatchedRebuild) {
+  Dictionary dict;
+  Rng rng(3);
+  Database db(&dict);
+  ASSERT_TRUE(db.InsertText("a sc b .\n").ok());
+  (void)db.Closure();
+  SchemaWorkloadSpec spec;
+  spec.num_classes = 8;
+  spec.num_properties = 5;
+  spec.num_instances = 20;
+  spec.num_facts = 40;
+  db.InsertGraph(SchemaWorkload(spec, &dict, &rng));
+  EXPECT_EQ(db.stats().closure_bulk_resets, 1u);
+  EXPECT_EQ(db.Closure(), RdfsClosure(db.graph()));
+  EXPECT_EQ(db.stats().closure_full_builds, 2u);
+}
+
+// The acceptance fuzz: ≥1000 random mutation steps interleaved with
+// queries and entailment checks; maintained closure and nf(D) must be
+// bit-identical to scratch recomputation at every step, and every
+// query/entailment answer must match a fresh database over the same
+// data.
+class DatabaseFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DatabaseFuzz,
+                         ::testing::Range<uint64_t>(1, 6));
+
+TEST_P(DatabaseFuzz, MaintainedStateMatchesScratchRecompute) {
+  Dictionary dict;
+  Rng rng(GetParam() * 97);
+  const bool pathological = GetParam() % 2 == 0;
+  std::vector<Term> universe = Universe(&dict, pathological);
+  Database db(&dict);
+  (void)db.Normalized();  // materialize: every mutation is maintained
+  const char* query_text =
+      "head: ?X below c .\n"
+      "body: ?X sc c .\n";
+  int mutations = 0;
+  for (int step = 0; mutations < 220; ++step) {
+    const uint64_t dice = rng.Below(100);
+    if (dice < 45 || db.size() == 0) {
+      Triple t = RandomTriple(universe, &rng, 0.5);
+      if (!t.IsWellFormedData()) continue;
+      db.Insert(t);
+      ++mutations;
+    } else if (dice < 70) {
+      db.Erase(db.graph()[rng.Below(db.size())]);
+      ++mutations;
+    } else if (dice < 85) {
+      MutationBatch batch;
+      for (int i = 0; i < 3; ++i) {
+        Triple t = RandomTriple(universe, &rng, 0.5);
+        if (t.IsWellFormedData()) batch.Insert(t);
+      }
+      if (db.size() > 0) batch.Erase(db.graph()[rng.Below(db.size())]);
+      db.Apply(batch);
+      mutations += static_cast<int>(batch.size());
+    } else if (dice < 93) {
+      Result<Graph> got = db.ExecuteQuery(query_text);
+      Database fresh_db(&dict);
+      fresh_db.InsertGraph(db.graph());
+      Result<Graph> want = fresh_db.ExecuteQuery(query_text);
+      ASSERT_EQ(got.ok(), want.ok());
+      if (got.ok()) ASSERT_EQ(*got, *want);
+      continue;
+    } else {
+      Triple t = RandomTriple(universe, &rng, 0.5);
+      if (!t.IsWellFormedData()) continue;
+      ASSERT_EQ(db.Entails(Graph({t})), RdfsEntails(db.graph(), Graph({t})));
+      ASSERT_EQ(db.EntailsTriple(t), RdfsClosure(db.graph()).Contains(t));
+      continue;
+    }
+    // After every mutation: maintained artifacts == scratch recompute.
+    ASSERT_EQ(db.Closure(), RdfsClosure(db.graph()))
+        << "seed " << GetParam() << " step " << step;
+    ASSERT_EQ(db.Normalized(), NormalForm(db.graph()))
+        << "seed " << GetParam() << " step " << step;
+    ASSERT_EQ(db.stats().closure_full_builds, 1u);  // genuinely incremental
+  }
+  // Batched mutations maintain once per batch, so the update count is
+  // below the mutation count — but every one of the 220 mutations went
+  // through some incremental pass, never a full rebuild.
+  EXPECT_GE(db.stats().closure_delta_updates +
+                db.stats().closure_erase_updates,
+            100u);
+}
+
+}  // namespace
+}  // namespace swdb
