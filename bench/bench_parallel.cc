@@ -1,0 +1,187 @@
+// E15 — strong scaling of the parallel execution layer.
+//
+// Every series sweeps the worker count t ∈ {1, 2, 4, 8}; t = 1 is the
+// unmodified sequential engine (no pool), so each row's speedup is
+// real_time(1) / real_time(t). Results are only meaningful on a machine
+// with at least as many cores as workers — scripts/bench_parallel.sh
+// records the host core count in the JSON header and skips the scaling
+// acceptance check when the hardware cannot express it.
+//
+// Series reported:
+//   * CliqueRefutedMatch/t — enc(K_k) ⊨ enc(K_{k+1}) exhaustive
+//     refutation through PatternMatcher's Parallelize mode: the
+//     root-level MatchRange of the most-constrained triple is split into
+//     chunks, one independent matcher per chunk. The merged result is
+//     bit-identical to sequential (tests/parallel_test.cc), so this
+//     series prices pure partitioning overhead vs. scaling.
+//   * BulkClosure/t — RdfsClosureParallel over a SchemaWorkload graph:
+//     round-based semi-naive fixpoint, frontier partitioned across the
+//     pool, per-chunk buffers merged in pinned order between rounds.
+//   * MixedServing/t — the Database serving shape: t reader threads
+//     stream EntailsTriple/Entails probes through epoch-tagged
+//     snapshots (lock-free acquire loads) while the writer applies
+//     MutationBatches — a 95/5 read/write mix per iteration.
+//
+// Counters: threads, |G|/|cl| where relevant, and reads+writes per
+// iteration for the serving series.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gen/generators.h"
+#include "graphtheory/digraph.h"
+#include "inference/closure.h"
+#include "query/database.h"
+#include "rdf/graph.h"
+#include "rdf/hom.h"
+#include "rdf/map.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace swdb {
+namespace {
+
+// Workers for a given benchmark argument: t = 1 means the sequential
+// engine (null pool), matching how callers run without a pool.
+std::unique_ptr<ThreadPool> PoolFor(int64_t t) {
+  if (t <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(static_cast<size_t>(t));
+}
+
+// --- Matching: exhaustive clique refutation --------------------------
+
+void BM_CliqueRefutedMatch(benchmark::State& state) {
+  constexpr uint32_t k = 6;
+  Dictionary dict;
+  Term e = dict.Iri("e");
+  Graph target = EncodeAsRdf(Digraph::CompleteSymmetric(k), &dict, e);
+  Graph pattern = EncodeAsRdf(Digraph::CompleteSymmetric(k + 1), &dict, e);
+  std::unique_ptr<ThreadPool> pool = PoolFor(state.range(0));
+  MatchOptions options;
+  options.max_steps = 500'000'000;
+  options.pool = pool.get();
+  options.parallel_min_root = 2;  // the root range is small but each
+                                  // chunk's subtree is enormous
+  for (auto _ : state) {
+    PatternMatcher matcher(pattern, &target, options);
+    Result<std::optional<TermMap>> r = matcher.FindAny();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["|G|"] = static_cast<double>(target.size());
+}
+BENCHMARK(BM_CliqueRefutedMatch)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
+// --- Closure: bulk fixpoint ------------------------------------------
+
+void BM_BulkClosure(benchmark::State& state) {
+  constexpr uint32_t n = 8192;
+  Dictionary dict;
+  Rng rng(n);
+  SchemaWorkloadSpec spec;
+  spec.num_classes = n / 16 + 4;
+  spec.num_properties = n / 32 + 3;
+  spec.num_instances = n / 2;
+  spec.num_facts = n;
+  Graph base = SchemaWorkload(spec, &dict, &rng);
+  std::unique_ptr<ThreadPool> pool = PoolFor(state.range(0));
+  size_t closure_size = 0;
+  for (auto _ : state) {
+    Graph cl = pool ? RdfsClosureParallel(base, pool.get())
+                    : RdfsClosure(base);
+    closure_size = cl.size();
+    benchmark::DoNotOptimize(cl);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["|G|"] = static_cast<double>(base.size());
+  state.counters["|cl|"] = static_cast<double>(closure_size);
+}
+BENCHMARK(BM_BulkClosure)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
+// --- Database serving: 95/5 read/write mix ---------------------------
+
+constexpr int kServeWritesPerIter = 16;    // 5% of the op mix
+constexpr int kServeReadsPerWrite = 19;    // 95%: 19 reads per write
+
+void BM_MixedServing(benchmark::State& state) {
+  const int readers = static_cast<int>(state.range(0));
+  Dictionary dict;
+  Database db(&dict);
+  Rng seed_rng(11);
+  SchemaWorkloadSpec spec;
+  spec.num_classes = 24;
+  spec.num_properties = 12;
+  spec.num_instances = 512;
+  spec.num_facts = 1024;
+  db.InsertGraph(SchemaWorkload(spec, &dict, &seed_rng));
+  db.Snapshot();  // publish from the writer thread before readers start
+
+  std::vector<Triple> updates;
+  {
+    Rng rng(23);
+    const Graph& g = db.graph();
+    for (int i = 0; i < 4 * kServeWritesPerIter; ++i) {
+      updates.push_back(g.triples()[rng.Below(g.size())]);
+    }
+  }
+  const int reads_per_thread =
+      kServeWritesPerIter * kServeReadsPerWrite / (readers > 0 ? readers : 1);
+
+  size_t u = 0;
+  for (auto _ : state) {
+    std::atomic<uint64_t> entailed{0};
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(readers));
+    for (int r = 0; r < readers; ++r) {
+      threads.emplace_back([&db, &entailed, r, reads_per_thread] {
+        Rng rng(100 + static_cast<uint64_t>(r));
+        uint64_t hits = 0;
+        for (int i = 0; i < reads_per_thread; ++i) {
+          std::shared_ptr<const DatabaseSnapshot> snap = db.Snapshot();
+          const Graph& cl = snap->closure();
+          const Triple probe = cl.triples()[rng.Below(cl.size())];
+          hits += snap->EntailsTriple(probe) ? 1 : 0;
+        }
+        entailed.fetch_add(hits, std::memory_order_relaxed);
+      });
+    }
+    // Writer: the 5% share, erase+reinsert so the graph stays stable
+    // across iterations.
+    for (int w = 0; w < kServeWritesPerIter; ++w) {
+      const Triple& t = updates[u++ % updates.size()];
+      MutationBatch batch;
+      batch.Erase(t);
+      batch.Insert(t);
+      db.Apply(batch);
+    }
+    for (std::thread& t : threads) t.join();
+    benchmark::DoNotOptimize(entailed.load());
+  }
+  const int64_t ops_per_iter =
+      kServeWritesPerIter + readers * reads_per_thread;
+  state.SetItemsProcessed(state.iterations() * ops_per_iter);
+  state.counters["threads"] = static_cast<double>(readers);
+  state.counters["reads/iter"] =
+      static_cast<double>(readers * reads_per_thread);
+  state.counters["writes/iter"] = static_cast<double>(kServeWritesPerIter);
+}
+BENCHMARK(BM_MixedServing)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
+}  // namespace
+}  // namespace swdb
+
+BENCHMARK_MAIN();

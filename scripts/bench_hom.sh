@@ -9,7 +9,9 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 shift || true
 
-cmake -B "$build_dir" -S "$repo_root" >/dev/null
+# Benchmarks must never run instrumented: pin SWDB_SANITIZE=OFF so a
+# stale sanitized cache in the build dir cannot leak into the numbers.
+cmake -B "$build_dir" -S "$repo_root" -DSWDB_SANITIZE=OFF >/dev/null
 cmake --build "$build_dir" -j --target bench_hom
 
 "$build_dir/bench/bench_hom" \
@@ -17,4 +19,5 @@ cmake --build "$build_dir" -j --target bench_hom
   --benchmark_min_time=0.2 \
   "$@" > "$repo_root/BENCH_hom.json"
 
+python3 "$repo_root/scripts/bench_context.py" "$repo_root/BENCH_hom.json"
 echo "wrote $repo_root/BENCH_hom.json"

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Builds and runs the parallel-execution-layer benchmark (E15), writes
+# the results to BENCH_parallel.json at the repo root, and prints the
+# strong-scaling table (speedup of t workers over the sequential
+# engine). The acceptance bar is >= 3x at 8 threads on the matching and
+# closure series; it is checked only when the host has >= 8 cores —
+# strong scaling cannot be expressed on fewer (the JSON header records
+# the core count either way).
+#
+# Usage: scripts/bench_parallel.sh [build-dir] [extra benchmark args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+
+# Benchmarks must never run instrumented: pin SWDB_SANITIZE=OFF so a
+# stale sanitized cache in the build dir cannot leak into the numbers.
+cmake -B "$build_dir" -S "$repo_root" -DSWDB_SANITIZE=OFF >/dev/null
+cmake --build "$build_dir" -j --target bench_parallel
+
+"$build_dir/bench/bench_parallel" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.1 \
+  "$@" > "$repo_root/BENCH_parallel.json"
+
+python3 "$repo_root/scripts/bench_context.py" "$repo_root/BENCH_parallel.json"
+echo "wrote $repo_root/BENCH_parallel.json"
+
+python3 - "$repo_root/BENCH_parallel.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+results = {b["name"]: b for b in doc["benchmarks"]}
+cores = doc.get("context", {}).get("num_cores", 0)
+
+def scaling(prefix, label):
+    rows = {}
+    for name, b in results.items():
+        if name.startswith(prefix + "/"):
+            t = int(name.split("/")[1])
+            rows[t] = b["real_time"]
+    if 1 not in rows:
+        return None
+    print(f"\n{label} (speedup over sequential):")
+    for t in sorted(rows):
+        print(f"  t={t:<3} {rows[1] / rows[t]:6.2f}x")
+    return {t: rows[1] / rows[t] for t in rows}
+
+match = scaling("BM_CliqueRefutedMatch", "clique-refutation matching")
+closure = scaling("BM_BulkClosure", "bulk closure")
+scaling("BM_MixedServing", "mixed 95/5 serving")
+
+print(f"\nhost cores: {cores}")
+if cores < 8:
+    print("acceptance (>=3x at 8 threads): SKIPPED — fewer than 8 cores; "
+          "strong scaling is not expressible on this host")
+    sys.exit(0)
+ok = True
+for label, table in (("matching", match), ("closure", closure)):
+    ratio = (table or {}).get(8, 0.0)
+    status = "PASS" if ratio >= 3.0 else "FAIL"
+    ok = ok and ratio >= 3.0
+    print(f"acceptance ({label}, t=8): {ratio:.2f}x >= 3x ... {status}")
+sys.exit(0 if ok else 1)
+EOF

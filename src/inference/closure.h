@@ -16,6 +16,8 @@
 
 namespace swdb {
 
+class ThreadPool;
+
 /// Computes RDFS-cl(G): all triples deducible from G by rules (2)–(13)
 /// (paper Def. 2.7), via an indexed semi-naive fixpoint. The closure is
 /// an RDF graph over universe(G) plus the rdfs-vocabulary, of size
@@ -26,6 +28,15 @@ namespace swdb {
 /// rule-step part of a proof of cl(G) from G (Def. 2.5).
 Graph RdfsClosure(const Graph& g,
                   std::vector<RuleApplication>* trace = nullptr);
+
+/// RDFS-cl(G) with the fixpoint's per-round rule joins partitioned
+/// across `pool` (round-based semi-naive evaluation: each round expands
+/// the whole frontier read-only into per-chunk conclusion buffers, then
+/// merges them in pinned chunk order). The result graph is identical to
+/// RdfsClosure(g) and deterministic regardless of worker count; a null
+/// or zero-thread pool degrades to the sequential engine. Traces are not
+/// supported (rounds do not preserve derivation order).
+Graph RdfsClosureParallel(const Graph& g, ThreadPool* pool);
 
 /// Reference implementation of RDFS-cl by iterating EnumerateApplications
 /// to fixpoint. Exponentially slower constants; used to cross-check
@@ -79,9 +90,13 @@ struct ClosureDeltaStats {
 ///
 /// If `trace` is non-null it receives one validating RuleApplication per
 /// *newly* derived triple, exactly as RdfsClosure would for those.
+///
+/// A non-null `pool` parallelizes the propagation rounds (ignored while
+/// tracing); the result is identical either way.
 Graph RdfsClosureDelta(const Graph& closure, const Graph& delta_inserts,
                        std::vector<RuleApplication>* trace = nullptr,
-                       ClosureDeltaStats* stats = nullptr);
+                       ClosureDeltaStats* stats = nullptr,
+                       ThreadPool* pool = nullptr);
 
 /// DRed-style deletion maintenance: given `closure` = RDFS-cl(G),
 /// `deleted` ⊆ G and `base_after` = G \ deleted, returns
@@ -127,11 +142,19 @@ class IncrementalClosure {
   void EraseDelta(const Graph& base_after, const Graph& deleted,
                   ClosureDeltaStats* stats = nullptr);
 
+  /// Runs subsequent fixpoints (inserts and post-erase rebuilds) with
+  /// their per-round rule joins partitioned across `pool`. The
+  /// maintained closure is identical either way; nullptr reverts to
+  /// sequential evaluation. The pool must outlive this object (or the
+  /// next set_pool call).
+  void set_pool(ThreadPool* pool);
+
  private:
   class Impl;
   std::unique_ptr<Impl> impl_;
   Graph closure_;
   uint64_t version_ = 0;
+  ThreadPool* pool_ = nullptr;
 };
 
 /// Computes the semantic closure cl(G) of Def. 3.5: for ground graphs

@@ -18,7 +18,8 @@ Graph QueryEvaluator::NormalizedDatabase(const Query& q, const Graph& db) {
 
 Term QueryEvaluator::SkolemBlank(Term head_blank,
                                  const std::vector<Term>& args) {
-  auto key = std::make_pair(head_blank, args);
+  SkolemKey key(head_blank, args);
+  std::lock_guard<std::mutex> lock(skolem_mu_);
   auto it = skolem_cache_.find(key);
   if (it != skolem_cache_.end()) return it->second;
   Term fresh = dict_->FreshBlank();

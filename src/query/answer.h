@@ -1,12 +1,16 @@
 #ifndef SWDB_QUERY_ANSWER_H_
 #define SWDB_QUERY_ANSWER_H_
 
-#include <map>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "query/query.h"
 #include "rdf/hom.h"
+#include "util/hash.h"
 #include "util/status.h"
 
 namespace swdb {
@@ -64,13 +68,38 @@ class QueryEvaluator {
   Result<Graph> AnswerMerge(const Query& q, const Graph& db);
 
  private:
+  // f_N(args) key: the head blank plus the body-valuation tuple, with
+  // the hash precomputed once at construction — probes and the final
+  // emplace reuse it instead of re-walking the tuple.
+  struct SkolemKey {
+    Term blank;
+    std::vector<Term> args;
+    size_t hash;
+
+    SkolemKey(Term b, std::vector<Term> a)
+        : blank(b),
+          args(std::move(a)),
+          hash(HashRange(args.begin(), args.end(),
+                         std::hash<Term>()(blank))) {}
+    bool operator==(const SkolemKey& o) const {
+      return blank == o.blank && args == o.args;
+    }
+  };
+  struct SkolemKeyHash {
+    size_t operator()(const SkolemKey& k) const { return k.hash; }
+  };
+
   Term SkolemBlank(Term head_blank, const std::vector<Term>& args);
 
   Dictionary* dict_;
   EvalOptions options_;
   // f_N(args) cache: the same (blank, argument-tuple) always yields the
-  // same fresh blank, across databases.
-  std::map<std::pair<Term, std::vector<Term>>, Term> skolem_cache_;
+  // same fresh blank, across databases. The mutex makes SkolemBlank —
+  // including its FreshBlank() mint, which the dictionary does not
+  // synchronize itself — safe for concurrent readers evaluating
+  // premise-free queries through database snapshots.
+  std::mutex skolem_mu_;
+  std::unordered_map<SkolemKey, Term, SkolemKeyHash> skolem_cache_;
 };
 
 }  // namespace swdb

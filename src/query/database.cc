@@ -13,16 +13,19 @@ Database::Database(Dictionary* dict, EvalOptions options)
     : dict_(dict), evaluator_(dict, options), options_(options) {}
 
 bool Database::Insert(const Triple& t) {
+  std::lock_guard<std::mutex> lock(write_mu_);
   // Copy first: t may alias data_'s own storage (e.g. a reference
   // obtained from graph()), which the mutation below shifts.
   Triple copy = t;
   if (!data_.Insert(copy)) return false;
   ++stats_.inserts;
   MaintainInsert(Graph({copy}));
+  if (snapshots_on_) PublishSnapshotLocked();
   return true;
 }
 
 void Database::InsertGraph(const Graph& g) {
+  std::lock_guard<std::mutex> lock(write_mu_);
   // Collect the actually-new part first: maintenance propagates from the
   // real delta, and an all-duplicates insert must not invalidate
   // anything.
@@ -41,9 +44,10 @@ void Database::InsertGraph(const Graph& g) {
     closure_.reset();
     normalized_.reset();
     ++stats_.closure_bulk_resets;
-    return;
+  } else {
+    MaintainInsert(delta);
   }
-  MaintainInsert(delta);
+  if (snapshots_on_) PublishSnapshotLocked();
 }
 
 Status Database::InsertText(std::string_view text) {
@@ -54,6 +58,7 @@ Status Database::InsertText(std::string_view text) {
 }
 
 bool Database::Erase(const Triple& t) {
+  std::lock_guard<std::mutex> lock(write_mu_);
   // Copy first: erasing a triple referenced out of graph() is the
   // natural call pattern, and data_.Erase shifts the storage t may
   // alias — the maintenance pass below must see the original value.
@@ -61,10 +66,12 @@ bool Database::Erase(const Triple& t) {
   if (!data_.Erase(copy)) return false;
   ++stats_.erases;
   MaintainErase(Graph({copy}));
+  if (snapshots_on_) PublishSnapshotLocked();
   return true;
 }
 
 Database::ApplyResult Database::Apply(const MutationBatch& batch) {
+  std::lock_guard<std::mutex> lock(write_mu_);
   ++stats_.batches;
   ApplyResult result;
   std::vector<Triple> erased;
@@ -82,6 +89,7 @@ Database::ApplyResult Database::Apply(const MutationBatch& batch) {
   result.inserted = inserted.size();
   stats_.inserts += inserted.size();
   if (!inserted.empty()) MaintainInsert(Graph(std::move(inserted)));
+  if (snapshots_on_) PublishSnapshotLocked();
   return result;
 }
 
@@ -180,6 +188,78 @@ Result<Graph> Database::ExecuteQuery(std::string_view query_text) {
   Result<Query> q = ParseQuery(query_text, dict_);
   if (!q.ok()) return q.status();
   return AnswerUnion(*q);
+}
+
+std::shared_ptr<const DatabaseSnapshot> Database::Snapshot() {
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    if (snapshot_ != nullptr) return snapshot_;
+  }
+  // First call: build and publish under the writer lock. Note this may
+  // run the closure fixpoint; if readers start cold, either the writer
+  // should take the first snapshot, or this call must not race with
+  // writer-thread cache methods (Closure/Normalized/...), which do not
+  // take the lock.
+  std::lock_guard<std::mutex> lock(write_mu_);
+  {
+    std::lock_guard<std::mutex> snap_lock(snapshot_mu_);
+    if (snapshot_ != nullptr) return snapshot_;
+    snapshots_on_ = true;
+  }
+  PublishSnapshotLocked();
+  std::lock_guard<std::mutex> snap_lock(snapshot_mu_);
+  return snapshot_;
+}
+
+void Database::PublishSnapshotLocked() {
+  // All the expensive work — graph copies, the maintained closure, the
+  // index warm-up — happens before snapshot_mu_ is touched; readers
+  // only ever wait for the pointer swap below.
+  auto data = std::make_shared<Graph>(data_);
+  auto cl = std::make_shared<Graph>(Closure());
+  // Readers share these const graphs; force the lazy index build now so
+  // their every access is const-clean.
+  data->WarmIndexes();
+  cl->WarmIndexes();
+  std::shared_ptr<const DatabaseSnapshot> snap(
+      new DatabaseSnapshot(data_.epoch(), std::move(data), std::move(cl),
+                           &evaluator_, options_));
+  std::lock_guard<std::mutex> snap_lock(snapshot_mu_);
+  snapshot_ = std::move(snap);
+}
+
+// ---------------------------------------------------------------------------
+// DatabaseSnapshot
+
+const Graph& DatabaseSnapshot::normalized() const {
+  if (options_.use_closure_only) return *closure_;
+  std::call_once(normalized_once_, [this] {
+    normalized_.emplace(Core(*closure_));
+    normalized_->WarmIndexes();
+  });
+  return *normalized_;
+}
+
+bool DatabaseSnapshot::EntailsTriple(const Triple& t) const {
+  std::call_once(membership_once_, [this] { membership_.emplace(*data_); });
+  return membership_->Contains(t);
+}
+
+bool DatabaseSnapshot::Entails(const Graph& q) const {
+  Result<bool> r = TryHasHomomorphism(q, *closure_);
+  SWDB_CHECK(r.ok(),
+             "RDFS-entailment step budget exhausted; use TryRdfsEntails "
+             "with explicit MatchOptions for graceful degradation");
+  return *r;
+}
+
+Result<std::vector<Graph>> DatabaseSnapshot::PreAnswer(const Query& q) const {
+  if (q.premise.empty()) {
+    return evaluator_->PreAnswerPrenormalized(q, normalized());
+  }
+  // Premise-bearing: merges into the dictionary — see the class comment
+  // for the synchronization requirement.
+  return evaluator_->PreAnswer(q, *data_);
 }
 
 }  // namespace swdb

@@ -1,7 +1,10 @@
 #ifndef SWDB_QUERY_DATABASE_H_
 #define SWDB_QUERY_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -17,25 +20,57 @@ namespace swdb {
 
 /// Observability counters for the incremental maintenance engine. All
 /// counters are cumulative since construction (or ResetStats).
+///
+/// The fields are relaxed atomics so the writer thread can keep counting
+/// while reader threads inspect stats() — each counter is individually
+/// coherent (copies taken mid-mutation may mix counters from adjacent
+/// operations, which is fine for observability data).
 struct DatabaseStats {
-  uint64_t inserts = 0;  ///< triples actually added
-  uint64_t erases = 0;   ///< triples actually removed
-  uint64_t batches = 0;  ///< Apply() calls
+  std::atomic<uint64_t> inserts{0};  ///< triples actually added
+  std::atomic<uint64_t> erases{0};   ///< triples actually removed
+  std::atomic<uint64_t> batches{0};  ///< Apply() calls
 
-  uint64_t closure_full_builds = 0;     ///< from-scratch closure fixpoints
-  uint64_t closure_delta_updates = 0;   ///< semi-naive insert maintenances
-  uint64_t closure_erase_updates = 0;   ///< DRed deletion maintenances
-  uint64_t closure_bulk_resets = 0;     ///< bulk loads that dropped the cache
-  uint64_t closure_cache_hits = 0;      ///< Closure() served without work
-  uint64_t closure_delta_derived = 0;   ///< triples derived by delta updates
-  uint64_t closure_overdeleted = 0;     ///< DRed suspects, cumulative
-  uint64_t closure_rederived = 0;       ///< DRed re-derivations, cumulative
+  std::atomic<uint64_t> closure_full_builds{0};   ///< from-scratch fixpoints
+  std::atomic<uint64_t> closure_delta_updates{0};  ///< semi-naive inserts
+  std::atomic<uint64_t> closure_erase_updates{0};  ///< DRed deletions
+  std::atomic<uint64_t> closure_bulk_resets{0};  ///< bulk cache drops
+  std::atomic<uint64_t> closure_cache_hits{0};  ///< Closure() served free
+  std::atomic<uint64_t> closure_delta_derived{0};  ///< delta-derived triples
+  std::atomic<uint64_t> closure_overdeleted{0};  ///< DRed suspects
+  std::atomic<uint64_t> closure_rederived{0};    ///< DRed re-derivations
 
-  uint64_t nf_rebuilds = 0;    ///< core recomputations over the closure
-  uint64_t nf_cache_hits = 0;  ///< Normalized() served from cache
+  std::atomic<uint64_t> nf_rebuilds{0};    ///< core recomputations
+  std::atomic<uint64_t> nf_cache_hits{0};  ///< Normalized() from cache
 
-  uint64_t membership_builds = 0;   ///< ClosureMembership (re)builds
-  uint64_t membership_queries = 0;  ///< EntailsTriple calls
+  std::atomic<uint64_t> membership_builds{0};   ///< membership (re)builds
+  std::atomic<uint64_t> membership_queries{0};  ///< EntailsTriple calls
+
+  DatabaseStats() = default;
+  DatabaseStats(const DatabaseStats& o) { *this = o; }
+  DatabaseStats& operator=(const DatabaseStats& o) {
+    inserts = o.inserts.load(std::memory_order_relaxed);
+    erases = o.erases.load(std::memory_order_relaxed);
+    batches = o.batches.load(std::memory_order_relaxed);
+    closure_full_builds =
+        o.closure_full_builds.load(std::memory_order_relaxed);
+    closure_delta_updates =
+        o.closure_delta_updates.load(std::memory_order_relaxed);
+    closure_erase_updates =
+        o.closure_erase_updates.load(std::memory_order_relaxed);
+    closure_bulk_resets =
+        o.closure_bulk_resets.load(std::memory_order_relaxed);
+    closure_cache_hits = o.closure_cache_hits.load(std::memory_order_relaxed);
+    closure_delta_derived =
+        o.closure_delta_derived.load(std::memory_order_relaxed);
+    closure_overdeleted =
+        o.closure_overdeleted.load(std::memory_order_relaxed);
+    closure_rederived = o.closure_rederived.load(std::memory_order_relaxed);
+    nf_rebuilds = o.nf_rebuilds.load(std::memory_order_relaxed);
+    nf_cache_hits = o.nf_cache_hits.load(std::memory_order_relaxed);
+    membership_builds = o.membership_builds.load(std::memory_order_relaxed);
+    membership_queries = o.membership_queries.load(std::memory_order_relaxed);
+    return *this;
+  }
 };
 
 /// A group of mutations applied atomically by Database::Apply, so the
@@ -61,6 +96,63 @@ class MutationBatch {
   std::vector<Triple> erases_;
 };
 
+/// An immutable, epoch-tagged view of a Database — the unit of the
+/// concurrent read path. A snapshot owns shared_ptr copies of the data
+/// graph and its RDFS closure (published with warmed indexes, so every
+/// read is const-clean), plus lazily built derived artifacts (normal
+/// form, closure membership) guarded by std::call_once.
+///
+/// Threading: all methods are safe to call from any number of threads
+/// concurrently, and the snapshot stays valid and unchanged while the
+/// owning Database keeps mutating — readers never observe a partial
+/// mutation. PreAnswer on premise-free queries is fully concurrent
+/// (Skolemization is internally synchronized); premise-bearing queries
+/// merge into the dictionary and must be serialized with the writer.
+/// The owning Database (whose evaluator the snapshot borrows) must
+/// outlive every snapshot it handed out.
+class DatabaseSnapshot {
+ public:
+  /// The data-graph epoch this snapshot reflects.
+  uint64_t epoch() const { return epoch_; }
+  /// The data graph D at epoch().
+  const Graph& data() const { return *data_; }
+  /// RDFS-cl(D), maintained by the writer, frozen here.
+  const Graph& closure() const { return *closure_; }
+  /// nf(D) = core(cl(D)) (or cl(D) under use_closure_only), built on
+  /// first use by exactly one thread.
+  const Graph& normalized() const;
+
+  /// t ∈ RDFS-cl(D), through a membership index built on first use.
+  bool EntailsTriple(const Triple& t) const;
+  /// RDFS entailment D ⊨ q against the frozen closure.
+  bool Entails(const Graph& q) const;
+  /// Single answers of a premise-free query against nf(D); see the
+  /// class comment for the premise-bearing caveat.
+  Result<std::vector<Graph>> PreAnswer(const Query& q) const;
+
+ private:
+  friend class Database;
+  DatabaseSnapshot(uint64_t epoch, std::shared_ptr<const Graph> data,
+                   std::shared_ptr<const Graph> closure,
+                   QueryEvaluator* evaluator, EvalOptions options)
+      : epoch_(epoch),
+        data_(std::move(data)),
+        closure_(std::move(closure)),
+        evaluator_(evaluator),
+        options_(options) {}
+
+  uint64_t epoch_;
+  std::shared_ptr<const Graph> data_;
+  std::shared_ptr<const Graph> closure_;
+  QueryEvaluator* evaluator_;
+  EvalOptions options_;
+
+  mutable std::once_flag normalized_once_;
+  mutable std::optional<Graph> normalized_;
+  mutable std::once_flag membership_once_;
+  mutable std::optional<ClosureMembership> membership_;
+};
+
 /// A mutable RDF database with *maintained* cached artifacts — the
 /// convenience facade a downstream user works against.
 ///
@@ -75,6 +167,15 @@ class MutationBatch {
 /// current closure fall back to dropping the cache (a batched rebuild
 /// beats replaying a huge delta). Premise-bearing queries still
 /// normalize D + P per call.
+///
+/// Threading model (single writer, many readers): every mutating and
+/// cache-maintaining method — Insert/Erase/Apply, Closure, Normalized,
+/// Entails, EntailsTriple, PreAnswer — must stay on one writer thread.
+/// Reader threads call Snapshot(), which copies the latest published
+/// DatabaseSnapshot pointer under a leaf mutex held only for the copy;
+/// mutators republish once snapshots have been requested, so a snapshot
+/// is always some committed epoch's consistent state, never a
+/// mid-mutation view.
 class Database {
  public:
   struct ApplyResult {
@@ -130,6 +231,14 @@ class Database {
   /// Parses the query text and evaluates under union semantics.
   Result<Graph> ExecuteQuery(std::string_view query_text);
 
+  /// The latest published immutable snapshot (building and publishing
+  /// one on first call). After the first call readers pay one leaf-
+  /// mutex-guarded shared_ptr copy — they never wait behind closure
+  /// maintenance. Each mutator publishes a fresh snapshot before it
+  /// returns, so a snapshot taken after a mutation completes reflects
+  /// at least that mutation.
+  std::shared_ptr<const DatabaseSnapshot> Snapshot();
+
   /// Maintenance-engine counters.
   const DatabaseStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DatabaseStats(); }
@@ -138,6 +247,9 @@ class Database {
   // Incremental maintenance steps; no-ops while no closure is cached.
   void MaintainInsert(const Graph& delta);
   void MaintainErase(const Graph& deleted);
+  // Builds a snapshot of the current state and publishes it under
+  // snapshot_mu_. Caller holds write_mu_.
+  void PublishSnapshotLocked();
 
   Dictionary* dict_;
   Graph data_;
@@ -152,6 +264,19 @@ class Database {
   std::optional<Graph> normalized_;
   uint64_t nf_version_ = 0;
   std::optional<ClosureMembership> membership_;
+
+  // Concurrent read path: mutators hold write_mu_ end to end and, once
+  // snapshots_on_, republish before releasing it. snapshot_ is guarded
+  // by the leaf mutex snapshot_mu_, held only for the pointer copy /
+  // swap — readers never wait behind a maintenance pass. (A leaf mutex
+  // instead of std::atomic<std::shared_ptr>: libstdc++ 12's _Sp_atomic
+  // unlocks its embedded spinlock with a relaxed RMW, which leaves the
+  // _M_ptr accesses formally racy — ThreadSanitizer reports it.)
+  // Lock order: write_mu_ before snapshot_mu_.
+  std::mutex write_mu_;
+  bool snapshots_on_ = false;  // guarded by write_mu_
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const DatabaseSnapshot> snapshot_;
 
   DatabaseStats stats_;
 };

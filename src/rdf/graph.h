@@ -224,6 +224,12 @@ class Graph {
     return Matches(s, p, o).size();
   }
 
+  /// Builds the lazy index permutations now if they are stale. The lazy
+  /// build mutates `mutable` state, so a const Graph shared across
+  /// threads must be warmed once (by one thread) before concurrent
+  /// Matches/Contains calls; after that every read path is const-clean.
+  void WarmIndexes() const { EnsureIndexes(); }
+
  private:
   void Normalize();
   void EnsureIndexes() const;

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <iterator>
 
 namespace swdb {
 
@@ -18,6 +19,18 @@ template <typename A, typename B>
 size_t HashPair(const A& a, const B& b) {
   size_t seed = std::hash<A>()(a);
   HashCombine(&seed, std::hash<B>()(b));
+  return seed;
+}
+
+/// Hashes a range of hashable values into `seed`, length included (so a
+/// prefix and its extension never collide structurally).
+template <typename It>
+size_t HashRange(It first, It last, size_t seed = 0) {
+  size_t n = 0;
+  for (It it = first; it != last; ++it, ++n) {
+    HashCombine(&seed, std::hash<typename std::iterator_traits<It>::value_type>()(*it));
+  }
+  HashCombine(&seed, n);
   return seed;
 }
 

@@ -1,0 +1,165 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+namespace swdb {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  queues_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  idle_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (threads_.empty()) {
+    task();  // inline mode
+    return;
+  }
+  const size_t q =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[q]->mu);
+    queues_[q]->tasks.push_back(std::move(task));
+  }
+  // The queued_ bump happens under idle_mu_ so a worker checking the
+  // predicate between its queue scan and its cv wait cannot miss it.
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    queued_.fetch_add(1, std::memory_order_relaxed);
+  }
+  idle_cv_.notify_one();
+}
+
+bool ThreadPool::PopOwn(size_t q, std::function<void()>* out) {
+  std::lock_guard<std::mutex> lock(queues_[q]->mu);
+  if (queues_[q]->tasks.empty()) return false;
+  *out = std::move(queues_[q]->tasks.back());
+  queues_[q]->tasks.pop_back();
+  return true;
+}
+
+bool ThreadPool::Steal(size_t self, std::function<void()>* out) {
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    if (i == self) continue;
+    std::lock_guard<std::mutex> lock(queues_[i]->mu);
+    if (queues_[i]->tasks.empty()) continue;
+    *out = std::move(queues_[i]->tasks.front());
+    queues_[i]->tasks.pop_front();
+    return true;
+  }
+  return false;
+}
+
+bool ThreadPool::RunOneTask() {
+  std::function<void()> task;
+  // Non-workers have no own queue; stealing scans every queue.
+  if (!Steal(queues_.size(), &task)) return false;
+  queued_.fetch_sub(1, std::memory_order_relaxed);
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  std::function<void()> task;
+  for (;;) {
+    if (PopOwn(self, &task) || Steal(self, &task)) {
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_relaxed) ||
+             queued_.load(std::memory_order_relaxed) > 0;
+    });
+    if (stop_.load(std::memory_order_relaxed) &&
+        queued_.load(std::memory_order_relaxed) == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) {
+    // A few chunks per participant for load balance; chunk boundaries
+    // must not depend on worker count for deterministic consumers, so
+    // callers that need that pass an explicit grain.
+    const size_t participants = num_threads() + 1;
+    grain = std::max<size_t>(1, n / (participants * 4));
+  }
+  if (threads_.empty() || n <= grain) {
+    fn(0, n);
+    return;
+  }
+  TaskGroup group(this);
+  for (size_t begin = 0; begin < n; begin += grain) {
+    const size_t end = std::min(n, begin + grain);
+    group.Run([&fn, begin, end] { fn(begin, end); });
+  }
+  group.Wait();
+}
+
+ThreadPool* ThreadPool::Shared() {
+  static ThreadPool* pool = [] {
+    size_t n = std::thread::hardware_concurrency();
+    if (const char* env = std::getenv("SWDB_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed >= 0) n = static_cast<size_t>(parsed);
+    }
+    return new ThreadPool(n);
+  }();
+  return pool;
+}
+
+void TaskGroup::Run(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++outstanding_;
+  }
+  pool_->Submit([this, fn = std::move(fn)] {
+    fn();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--outstanding_ == 0) cv_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (outstanding_ == 0) return;
+    }
+    // Help drain the pool instead of blocking: keeps zero-worker pools
+    // and nested groups (a worker waiting on its own fan-out) live.
+    if (pool_->RunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    // Timed wait: the task this group is waiting on may be *running* on
+    // another thread (nothing left to steal), but a fresh steal target
+    // can also appear; poll between wakeups.
+    cv_.wait_for(lock, std::chrono::milliseconds(1),
+                 [this] { return outstanding_ == 0; });
+    if (outstanding_ == 0) return;
+  }
+}
+
+}  // namespace swdb

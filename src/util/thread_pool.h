@@ -1,0 +1,136 @@
+#ifndef SWDB_UTIL_THREAD_POOL_H_
+#define SWDB_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace swdb {
+
+/// Single-use countdown barrier: Wait() blocks until CountDown() has been
+/// called `expected` times. The lightweight helper the pool's fan-out
+/// primitives are built on (std::latch shape, but with no C++20 library
+/// dependency beyond <condition_variable>).
+class Latch {
+ public:
+  explicit Latch(size_t expected) : remaining_(expected) {}
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (remaining_ > 0 && --remaining_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t remaining_;
+};
+
+/// A fixed-size work-stealing thread pool with no external dependencies.
+///
+/// Each worker owns a deque: the owner pushes and pops at the back
+/// (LIFO, cache-friendly for recursive fan-out), idle workers steal from
+/// the front of a victim's deque (FIFO, takes the oldest — typically
+/// largest — task). External submissions are distributed round-robin
+/// across the deques.
+///
+/// Concurrency contract: Submit/TaskGroup/ParallelFor may be called from
+/// any thread, including pool workers (a worker waiting on a TaskGroup
+/// helps drain queued tasks instead of blocking, so nested fan-out does
+/// not deadlock). A pool constructed with zero threads degrades to
+/// inline execution — every primitive stays correct, just sequential.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means "no workers, run inline".
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues a task. With zero workers the task runs inline, before
+  /// Submit returns.
+  void Submit(std::function<void()> task);
+
+  /// Runs fn(begin, end) over a partition of [0, n) into contiguous
+  /// chunks of at most `grain` indices (grain 0 picks a chunk size that
+  /// yields a few chunks per worker). The calling thread participates;
+  /// returns when every chunk has run. Chunk boundaries depend only on n
+  /// and grain — never on the worker count — so callers that write
+  /// results into chunk-indexed slots get deterministic output ordering
+  /// regardless of parallelism.
+  void ParallelFor(size_t n, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+  /// The process-wide pool, sized by the SWDB_THREADS environment
+  /// variable if set, else std::thread::hardware_concurrency(). Lives
+  /// until process exit.
+  static ThreadPool* Shared();
+
+ private:
+  friend class TaskGroup;
+
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  // Pops from the back of queue `q` (owner side).
+  bool PopOwn(size_t q, std::function<void()>* out);
+  // Steals from the front of any queue other than `self` (pass
+  // num_threads() when the caller is not a worker).
+  bool Steal(size_t self, std::function<void()>* out);
+  // Runs one queued task on the calling thread if any is available —
+  // the cooperative-helping hook used by TaskGroup::Wait.
+  bool RunOneTask();
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::atomic<size_t> queued_{0};
+  std::atomic<size_t> next_queue_{0};
+  std::atomic<bool> stop_{false};
+};
+
+/// Tracks a group of tasks submitted to a pool and joins them. Wait()
+/// helps drain the pool's queues while the group is outstanding, so a
+/// worker may safely fan out a nested group.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedules fn on the pool as part of this group.
+  void Run(std::function<void()> fn);
+
+  /// Blocks until every task Run() so far has finished.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t outstanding_ = 0;
+};
+
+}  // namespace swdb
+
+#endif  // SWDB_UTIL_THREAD_POOL_H_
