@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Builds and runs the core/nf benchmark (E4 + E16), writes the results
+# to BENCH_core.json at the repo root, and prints the E16 strong-scaling
+# table (speedup of t workers over the sequential engine; the parallel
+# core is bit-identical at every t, so this is pure wall-clock). The
+# acceptance bar is >= 3x at 8 threads on the lean-gadget series; it is
+# checked only when the host has >= 8 cores — strong scaling cannot be
+# expressed on fewer (the JSON header records the core count either
+# way).
+#
+# Usage: scripts/bench_core.sh [build-dir] [extra benchmark args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+
+# Benchmarks must never run instrumented: pin SWDB_SANITIZE=OFF so a
+# stale sanitized cache in the build dir cannot leak into the numbers.
+cmake -B "$build_dir" -S "$repo_root" -DSWDB_SANITIZE=OFF >/dev/null
+cmake --build "$build_dir" -j --target bench_core
+
+"$build_dir/bench/bench_core" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.1 \
+  "$@" > "$repo_root/BENCH_core.json"
+
+python3 "$repo_root/scripts/bench_context.py" "$repo_root/BENCH_core.json"
+echo "wrote $repo_root/BENCH_core.json"
+
+python3 - "$repo_root/BENCH_core.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+results = {b["name"]: b for b in doc["benchmarks"]}
+cores = doc.get("context", {}).get("num_cores", 0)
+
+def scaling(prefix, label):
+    rows = {}
+    for name, b in results.items():
+        if name.startswith(prefix + "/"):
+            t = int(name.split("/")[1])
+            rows[t] = b["real_time"]
+    if 1 not in rows:
+        return None
+    print(f"\n{label} (speedup over sequential):")
+    for t in sorted(rows):
+        print(f"  t={t:<3} {rows[1] / rows[t]:6.2f}x")
+    return {t: rows[1] / rows[t] for t in rows}
+
+lean = scaling("BM_CoreLeanGadgets", "lean-gadget core (all components refuted)")
+nf = scaling("BM_NormalFormLeanGadgets", "nf(D) = core(cl(D)) end to end")
+scaling("BM_CoreFoldingChain", "folding chain (sequential winner, no speedup expected)")
+
+print(f"\nhost cores: {cores}")
+if cores < 8:
+    print("acceptance (>=3x at 8 threads): SKIPPED — fewer than 8 cores; "
+          "strong scaling is not expressible on this host")
+    sys.exit(0)
+ok = True
+for label, table in (("lean-gadget core", lean), ("normal form", nf)):
+    ratio = (table or {}).get(8, 0.0)
+    status = "PASS" if ratio >= 3.0 else "FAIL"
+    ok = ok and ratio >= 3.0
+    print(f"acceptance ({label}, t=8): {ratio:.2f}x >= 3x ... {status}")
+sys.exit(0 if ok else 1)
+EOF

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Builds the tree with ThreadSanitizer in a separate build directory and
 # runs the concurrency-sensitive suites: the thread pool + parallel
-# matcher/closure tests and the Database snapshot stress tests.
+# matcher/closure tests, the parallel core/nf engine parity tests, and
+# the Database snapshot stress tests (including racing normalized()
+# readers against the call_once core build).
 #
 # Usage: scripts/check_tsan.sh [build-dir]
 set -euo pipefail
@@ -10,7 +12,9 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-tsan}"
 
 cmake -B "$build_dir" -S "$repo_root" -DSWDB_SANITIZE=thread
-cmake --build "$build_dir" -j --target parallel_test concurrency_test
-ctest --test-dir "$build_dir" --output-on-failure -R '^(parallel|concurrency)_test$'
+cmake --build "$build_dir" -j --target parallel_test concurrency_test \
+  core_parallel_test
+ctest --test-dir "$build_dir" --output-on-failure \
+  -R '^(parallel|concurrency|core_parallel)_test$'
 
 echo "tsan: concurrency suites passed"

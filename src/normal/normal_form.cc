@@ -6,7 +6,10 @@
 
 namespace swdb {
 
-Graph NormalForm(const Graph& g) { return Core(RdfsClosure(g)); }
+Graph NormalForm(const Graph& g, ThreadPool* pool) {
+  if (pool == nullptr) return Core(RdfsClosure(g));
+  return Core(RdfsClosureParallel(g, pool), /*witness=*/nullptr, pool);
+}
 
 bool IsNormalFormOf(const Graph& candidate, const Graph& g) {
   return AreIsomorphic(candidate, NormalForm(g));

@@ -6,8 +6,22 @@
 #include "parser/text.h"
 #include "rdf/map.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace swdb {
+
+namespace {
+
+// The pool the nf(D) = core(cl(D)) builds run on: an explicitly
+// configured EvalOptions pool wins, else the process-shared pool (sized
+// by SWDB_THREADS; 0 degrades to inline). Safe to default on because
+// the parallel core is bit-identical to the sequential one.
+ThreadPool* CorePool(const EvalOptions& options) {
+  return options.match.pool != nullptr ? options.match.pool
+                                       : ThreadPool::Shared();
+}
+
+}  // namespace
 
 Database::Database(Dictionary* dict, EvalOptions options)
     : dict_(dict), evaluator_(dict, options), options_(options) {}
@@ -132,7 +146,7 @@ const Graph& Database::Normalized() {
     ++stats_.nf_cache_hits;
     return *normalized_;
   }
-  normalized_ = Core(cl);
+  normalized_ = Core(cl, /*witness=*/nullptr, CorePool(options_));
   nf_version_ = closure_->version();
   ++stats_.nf_rebuilds;
   return *normalized_;
@@ -223,7 +237,8 @@ void Database::PublishSnapshotLocked() {
   cl->WarmIndexes();
   std::shared_ptr<const DatabaseSnapshot> snap(
       new DatabaseSnapshot(data_.epoch(), std::move(data), std::move(cl),
-                           &evaluator_, options_));
+                           &evaluator_, options_, CorePool(options_),
+                           &stats_));
   std::lock_guard<std::mutex> snap_lock(snapshot_mu_);
   snapshot_ = std::move(snap);
 }
@@ -234,8 +249,9 @@ void Database::PublishSnapshotLocked() {
 const Graph& DatabaseSnapshot::normalized() const {
   if (options_.use_closure_only) return *closure_;
   std::call_once(normalized_once_, [this] {
-    normalized_.emplace(Core(*closure_));
+    normalized_.emplace(Core(*closure_, /*witness=*/nullptr, pool_));
     normalized_->WarmIndexes();
+    ++stats_->snapshot_nf_builds;
   });
   return *normalized_;
 }

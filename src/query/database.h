@@ -41,6 +41,10 @@ struct DatabaseStats {
 
   std::atomic<uint64_t> nf_rebuilds{0};    ///< core recomputations
   std::atomic<uint64_t> nf_cache_hits{0};  ///< Normalized() from cache
+  /// Snapshot-side nf(D) builds: how many times some snapshot's lazy
+  /// call_once slot actually ran the core computation (each snapshot
+  /// builds at most once no matter how many readers race normalized()).
+  std::atomic<uint64_t> snapshot_nf_builds{0};
 
   std::atomic<uint64_t> membership_builds{0};   ///< membership (re)builds
   std::atomic<uint64_t> membership_queries{0};  ///< EntailsTriple calls
@@ -67,6 +71,8 @@ struct DatabaseStats {
     closure_rederived = o.closure_rederived.load(std::memory_order_relaxed);
     nf_rebuilds = o.nf_rebuilds.load(std::memory_order_relaxed);
     nf_cache_hits = o.nf_cache_hits.load(std::memory_order_relaxed);
+    snapshot_nf_builds =
+        o.snapshot_nf_builds.load(std::memory_order_relaxed);
     membership_builds = o.membership_builds.load(std::memory_order_relaxed);
     membership_queries = o.membership_queries.load(std::memory_order_relaxed);
     return *this;
@@ -119,7 +125,11 @@ class DatabaseSnapshot {
   /// RDFS-cl(D), maintained by the writer, frozen here.
   const Graph& closure() const { return *closure_; }
   /// nf(D) = core(cl(D)) (or cl(D) under use_closure_only), built on
-  /// first use by exactly one thread.
+  /// first use by exactly one thread (call_once; every concurrent
+  /// reader observes the one built graph). The core runs on the
+  /// snapshot's pool — EvalOptions' match.pool if set, else the
+  /// process-shared ThreadPool — with its component-parallel engine,
+  /// whose output is bit-identical to the sequential core.
   const Graph& normalized() const;
 
   /// t ∈ RDFS-cl(D), through a membership index built on first use.
@@ -134,18 +144,23 @@ class DatabaseSnapshot {
   friend class Database;
   DatabaseSnapshot(uint64_t epoch, std::shared_ptr<const Graph> data,
                    std::shared_ptr<const Graph> closure,
-                   QueryEvaluator* evaluator, EvalOptions options)
+                   QueryEvaluator* evaluator, EvalOptions options,
+                   ThreadPool* pool, DatabaseStats* stats)
       : epoch_(epoch),
         data_(std::move(data)),
         closure_(std::move(closure)),
         evaluator_(evaluator),
-        options_(options) {}
+        options_(options),
+        pool_(pool),
+        stats_(stats) {}
 
   uint64_t epoch_;
   std::shared_ptr<const Graph> data_;
   std::shared_ptr<const Graph> closure_;
   QueryEvaluator* evaluator_;
   EvalOptions options_;
+  ThreadPool* pool_;       // runs the lazy core build; owned elsewhere
+  DatabaseStats* stats_;   // the owning Database's counters
 
   mutable std::once_flag normalized_once_;
   mutable std::optional<Graph> normalized_;

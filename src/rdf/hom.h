@@ -135,6 +135,21 @@ class PatternMatcher {
   /// compiled pattern (the leanness/core loop).
   void set_exclude_triple(std::optional<Triple> t);
 
+  /// Cooperative cancellation for drivers racing several matchers (the
+  /// parallel core engine races one matcher per blank component): the
+  /// search aborts — no further solutions, OK status — as soon as
+  /// `first_found->load() < index`, i.e. once a lower-indexed rival has
+  /// produced the answer that makes this matcher's outcome irrelevant.
+  /// This is the same mechanism EnumerateParallel uses internally for
+  /// its root chunks; because the chunk matchers own those fields, a
+  /// matcher with external cancellation must not also set
+  /// MatchOptions::pool. `first_found` must outlive every subsequent
+  /// Enumerate/FindAny call; pass nullptr to clear.
+  void set_cancellation(const std::atomic<size_t>* first_found, size_t index) {
+    cancel_below_ = first_found;
+    chunk_index_ = index;
+  }
+
   /// Number of backtracking steps consumed by the last call.
   uint64_t steps_used() const { return steps_; }
 
@@ -239,7 +254,8 @@ class PatternMatcher {
   MatchStats stats_;
 
   // Parallel-chunk plumbing (set by EnumerateParallel on its chunk
-  // matchers; always null on user-constructed matchers).
+  // matchers; null on user-constructed matchers unless a driver opts in
+  // through set_cancellation).
   std::atomic<uint64_t>* shared_steps_ = nullptr;  // pooled step budget
   // First-solution cancellation: chunk `chunk_index_` aborts once a
   // lower-indexed chunk has found a solution (the merged first solution

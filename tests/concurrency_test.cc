@@ -13,10 +13,12 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "inference/closure.h"
+#include "normal/core.h"
 #include "query/database.h"
 #include "query/query.h"
 #include "rdf/graph.h"
@@ -242,6 +244,79 @@ TEST(DatabaseSnapshot, ConcurrentPremiseFreePreAnswer) {
   stop.store(true);
   for (std::thread& t : readers) t.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+// Blank-redundant data whose nf(D) actually folds: several independent
+// blank components, each subsumed by a ground triple, so the lazy
+// normalized() build runs the full (parallel) core engine.
+void InsertFoldableData(Database* db, Dictionary* dict) {
+  Term a = dict->Iri("u:a");
+  for (int i = 0; i < 4; ++i) {
+    Term p = dict->Iri("u:p" + std::to_string(i));
+    db->Insert(Triple(a, p, dict->Iri("u:b" + std::to_string(i))));
+    db->Insert(Triple(a, p, dict->FreshBlank()));
+  }
+}
+
+TEST(DatabaseSnapshot, RacedNormalizedBuildsCoreExactlyOnce) {
+  // N readers race the first normalized() call on a fresh snapshot: the
+  // call_once slot must run the core build exactly once (observed via
+  // the snapshot_nf_builds counter), and every reader must see the same
+  // Graph object with the from-scratch nf(D) content.
+  Dictionary dict;
+  Database db(&dict);
+  InsertFoldableData(&db, &dict);
+  std::shared_ptr<const DatabaseSnapshot> snap = db.Snapshot();
+  ASSERT_EQ(db.stats().snapshot_nf_builds.load(), 0u);
+
+  constexpr int kReaders = 8;
+  std::atomic<int> ready{0};
+  std::vector<const Graph*> observed(kReaders, nullptr);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&snap, &ready, &observed, r] {
+      // Crude barrier so the calls really race the call_once.
+      ready.fetch_add(1);
+      while (ready.load(std::memory_order_relaxed) < kReaders) {
+        std::this_thread::yield();
+      }
+      observed[r] = &snap->normalized();
+    });
+  }
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(db.stats().snapshot_nf_builds.load(), 1u);
+  const Graph expected = Core(RdfsClosure(snap->data()));
+  for (int r = 0; r < kReaders; ++r) {
+    ASSERT_NE(observed[r], nullptr);
+    EXPECT_EQ(observed[r], observed[0]) << "reader " << r;
+    EXPECT_EQ(*observed[r], expected) << "reader " << r;
+  }
+  // The core really folded the redundant blanks away.
+  EXPECT_LT(expected.size(), RdfsClosure(snap->data()).size());
+}
+
+TEST(DatabaseSnapshot, NormalizedBuildsOncePerSnapshotEpoch) {
+  Dictionary dict;
+  Database db(&dict);
+  InsertFoldableData(&db, &dict);
+  std::shared_ptr<const DatabaseSnapshot> first = db.Snapshot();
+  const Graph& first_nf = first->normalized();
+  EXPECT_EQ(db.stats().snapshot_nf_builds.load(), 1u);
+  // Repeated calls on the same snapshot reuse the built core.
+  EXPECT_EQ(&first->normalized(), &first_nf);
+  EXPECT_EQ(db.stats().snapshot_nf_builds.load(), 1u);
+
+  db.Insert(Triple(dict.Iri("u:a"), dict.Iri("u:q"), dict.FreshBlank()));
+  std::shared_ptr<const DatabaseSnapshot> second = db.Snapshot();
+  ASSERT_NE(second, first);
+  const Graph second_nf = second->normalized();
+  EXPECT_EQ(db.stats().snapshot_nf_builds.load(), 2u);
+  EXPECT_EQ(second_nf, Core(RdfsClosure(second->data())));
+  // The first snapshot's normal form is frozen at its epoch.
+  EXPECT_EQ(first->normalized(), Core(RdfsClosure(first->data())));
+  EXPECT_EQ(db.stats().snapshot_nf_builds.load(), 2u);
 }
 
 TEST(DatabaseStatsAtomics, CopyAndResetBehave) {

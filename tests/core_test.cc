@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
 #include "gen/generators.h"
 #include "rdf/iso.h"
 #include "testutil.h"
@@ -145,6 +148,109 @@ TEST(Core, Theorem311EquivalenceIffIsomorphicCores) {
   EXPECT_FALSE(AreIsomorphic(Core(g1), Core(g3)));
   EXPECT_TRUE(SimpleEquivalent(g1, g2));
   EXPECT_FALSE(SimpleEquivalent(g1, g3));
+}
+
+TEST(Core, IdempotentOnRandomGraphs) {
+  // core(core(g)) = core(g): the core is lean, so the second pass finds
+  // no proper endomorphism and returns its input unchanged.
+  Dictionary dict;
+  Rng rng(17);
+  RandomGraphSpec spec;
+  spec.num_nodes = 9;
+  spec.num_triples = 16;
+  spec.blank_ratio = 0.6;
+  for (int round = 0; round < 15; ++round) {
+    Graph core = Core(RandomSimpleGraph(spec, &dict, &rng));
+    EXPECT_EQ(Core(core), core) << "round " << round;
+  }
+}
+
+TEST(Core, WitnessFoldsRandomGraphsOntoCore) {
+  Dictionary dict;
+  Rng rng(29);
+  RandomGraphSpec spec;
+  spec.num_nodes = 8;
+  spec.num_triples = 14;
+  spec.blank_ratio = 0.7;
+  for (int round = 0; round < 15; ++round) {
+    Graph g = RandomSimpleGraph(spec, &dict, &rng);
+    TermMap witness;
+    Graph core = Core(g, &witness);
+    EXPECT_EQ(witness.Apply(g), core) << "round " << round;
+    EXPECT_TRUE(core.IsSubgraphOf(g)) << "round " << round;
+    EXPECT_TRUE(IsLean(core)) << "round " << round;
+  }
+}
+
+TEST(BlankComponents, GroupsByConnectedBlanks) {
+  Dictionary dict;
+  Graph g = Data(&dict,
+                 "a p _:X .\n"
+                 "_:X q _:Y .\n"  // X–Y share a triple: one component
+                 "b p c .\n"      // ground: in no component
+                 "a p _:Z .");    // Z alone: second component
+  std::vector<std::vector<Triple>> components = BlankComponents(g);
+  Term a = dict.Iri("a");
+  Term p = dict.Iri("p");
+  Term q = dict.Iri("q");
+  Term x = dict.Blank("X");
+  Term y = dict.Blank("Y");
+  Term z = dict.Blank("Z");
+  ASSERT_EQ(components.size(), 2u);
+  // Pinned order: components appear in order of their first triple in
+  // g's (sorted) triple order, and "a p _:Z" sorts before "_:X q _:Y".
+  EXPECT_EQ(components[0],
+            (std::vector<Triple>{Triple(a, p, x), Triple(x, q, y)}));
+  EXPECT_EQ(components[1], std::vector<Triple>{Triple(a, p, z)});
+}
+
+TEST(BlankComponents, PartitionsNonGroundTriples) {
+  // Every non-ground triple lands in exactly one component, ground
+  // triples in none, and no blank spans two components.
+  Dictionary dict;
+  Rng rng(41);
+  RandomGraphSpec spec;
+  spec.num_nodes = 10;
+  spec.num_triples = 20;
+  spec.blank_ratio = 0.5;
+  for (int round = 0; round < 10; ++round) {
+    Graph g = RandomSimpleGraph(spec, &dict, &rng);
+    std::vector<std::vector<Triple>> components = BlankComponents(g);
+    std::set<Triple> seen;
+    std::set<Term> seen_blanks;
+    for (const std::vector<Triple>& component : components) {
+      ASSERT_FALSE(component.empty());
+      std::set<Term> blanks;
+      for (const Triple& t : component) {
+        EXPECT_FALSE(t.IsGround());
+        EXPECT_TRUE(g.Contains(t));
+        EXPECT_TRUE(seen.insert(t).second) << "triple in two components";
+        for (Term term : {t.s, t.p, t.o}) {
+          if (term.IsBlank()) blanks.insert(term);
+        }
+      }
+      for (Term b : blanks) {
+        EXPECT_TRUE(seen_blanks.insert(b).second)
+            << "blank shared across components";
+      }
+    }
+    size_t non_ground = 0;
+    for (const Triple& t : g) {
+      if (!t.IsGround()) ++non_ground;
+    }
+    EXPECT_EQ(seen.size(), non_ground) << "round " << round;
+  }
+}
+
+TEST(BlankComponents, DeepBlankChainDoesNotOverflowTheStack) {
+  // Regression: the union-find `find` used to be recursive, and a
+  // 10k-blank chain unioned into one long parent path blew the stack.
+  // The iterative, path-compressing find must handle it.
+  Dictionary dict;
+  Graph g = BlankChain(10000, dict.Iri("p"), &dict);
+  std::vector<std::vector<Triple>> components = BlankComponents(g);
+  ASSERT_EQ(components.size(), 1u);
+  EXPECT_EQ(components[0].size(), g.size());
 }
 
 TEST(Core, BudgetAwareVariantReportsExhaustion) {
