@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Builds and runs the columnar-storage / vectorized-scan benchmark (E17)
+# and writes the results to BENCH_scan.json at the repo root.
+#
+# Usage: scripts/bench_scan.sh [build-dir] [extra benchmark args...]
+# The SIMD kernels are on by default; pass a dedicated build dir and
+# -DSWDB_SIMD=OFF through cmake yourself for a scalar-build comparison
+# (the in-binary *Scalar series already isolates the kernel ablation).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+
+# Benchmarks must never run instrumented: pin SWDB_SANITIZE=OFF so a
+# stale sanitized cache in the build dir cannot leak into the numbers.
+cmake -B "$build_dir" -S "$repo_root" -DSWDB_SANITIZE=OFF >/dev/null
+cmake --build "$build_dir" -j --target bench_scan
+
+"$build_dir/bench/bench_scan" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.2 \
+  "$@" > "$repo_root/BENCH_scan.json"
+
+python3 "$repo_root/scripts/bench_context.py" "$repo_root/BENCH_scan.json"
+echo "wrote $repo_root/BENCH_scan.json"

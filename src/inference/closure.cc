@@ -539,27 +539,29 @@ bool DerivableOneStep(const Graph& p, const Triple& c) {
     // Rule (6): (A, dom, c.o) with a use (c.s, p', _), p' = A or
     // (p', sp, A) ∈ p. (The direct part's (A, sp, A) premise is itself
     // rule-(10) derivable from the dom triple, keeping this sound.)
+    // The use range is independent of the outer row: resolve it once
+    // outside the join (p is not mutated here, so it stays valid).
+    MatchRange dom_uses = p.Matches(c.s, std::nullopt, std::nullopt);
     p.Match(std::nullopt, kDom, c.o, [&](const Triple& d) {
-      p.Match(c.s, std::nullopt, std::nullopt, [&](const Triple& use) {
+      for (const Triple& use : dom_uses) {
         if (use.p == d.s || p.Contains(Triple(use.p, kSp, d.s))) {
           hit = true;
           return false;
         }
-        return true;
-      });
-      return !hit;
+      }
+      return true;
     });
     if (hit) return true;
     // Rule (7): (A, range, c.o) with a use (_, p', c.s).
+    MatchRange range_uses = p.Matches(std::nullopt, std::nullopt, c.s);
     p.Match(std::nullopt, kRange, c.o, [&](const Triple& r) {
-      p.Match(std::nullopt, std::nullopt, c.s, [&](const Triple& use) {
+      for (const Triple& use : range_uses) {
         if (use.p == r.s || p.Contains(Triple(use.p, kSp, r.s))) {
           hit = true;
           return false;
         }
-        return true;
-      });
-      return !hit;
+      }
+      return true;
     });
     return hit;
   }
@@ -604,24 +606,24 @@ void ForEachConsequence(const Graph& g, const Triple& t, Emit&& emit) {
       emit(Triple(t.s, kSp, e.o));
       return true;
     });
-    // Rule (3), t as the schema premise: lift every use of t.s.
-    g.Match(std::nullopt, t.s, std::nullopt, [&](const Triple& use) {
+    // Rule (3), t as the schema premise, and rules (6)/(7) with t as the
+    // (C, sp, A) premise (A = t.o, C = t.s) all join against the uses of
+    // t.s — resolve that range once and reuse it (emit must not mutate
+    // g, so the range stays valid across all three loops).
+    MatchRange uses = g.Matches(std::nullopt, t.s, std::nullopt);
+    for (const Triple& use : uses) {
       emit(Triple(use.s, t.o, use.o));
-      return true;
-    });
-    // Rules (6)/(7), t as the (C, sp, A) premise: A = t.o, C = t.s.
+    }
     g.Match(t.o, kDom, std::nullopt, [&](const Triple& d) {
-      g.Match(std::nullopt, t.s, std::nullopt, [&](const Triple& use) {
+      for (const Triple& use : uses) {
         emit(Triple(use.s, kType, d.o));
-        return true;
-      });
+      }
       return true;
     });
     g.Match(t.o, kRange, std::nullopt, [&](const Triple& r) {
-      g.Match(std::nullopt, t.s, std::nullopt, [&](const Triple& use) {
+      for (const Triple& use : uses) {
         emit(Triple(use.o, kType, r.o));
-        return true;
-      });
+      }
       return true;
     });
     emit(Triple(t.s, kSp, t.s));  // rule (11)

@@ -126,6 +126,13 @@ void Database::MaintainErase(const Graph& deleted) {
   stats_.closure_rederived += ds.rederived;
 }
 
+DatabaseStats Database::CollectStats() const {
+  DatabaseStats out = stats_;
+  out.data_graph = data_.Stats();
+  if (closure_.has_value()) out.closure_graph = closure_->closure().Stats();
+  return out;
+}
+
 const Graph& Database::Closure() {
   if (!closure_.has_value()) {
     closure_.emplace(data_);

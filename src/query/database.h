@@ -49,6 +49,13 @@ struct DatabaseStats {
   std::atomic<uint64_t> membership_builds{0};   ///< membership (re)builds
   std::atomic<uint64_t> membership_queries{0};  ///< EntailsTriple calls
 
+  /// Storage/scan counters of the data graph and the maintained closure
+  /// graph (empty when no closure is cached). Plain snapshots, filled by
+  /// Database::CollectStats — the live stats() reference leaves them
+  /// zeroed.
+  GraphStats data_graph;
+  GraphStats closure_graph;
+
   DatabaseStats() = default;
   DatabaseStats(const DatabaseStats& o) { *this = o; }
   DatabaseStats& operator=(const DatabaseStats& o) {
@@ -75,6 +82,8 @@ struct DatabaseStats {
         o.snapshot_nf_builds.load(std::memory_order_relaxed);
     membership_builds = o.membership_builds.load(std::memory_order_relaxed);
     membership_queries = o.membership_queries.load(std::memory_order_relaxed);
+    data_graph = o.data_graph;
+    closure_graph = o.closure_graph;
     return *this;
   }
 };
@@ -256,6 +265,10 @@ class Database {
 
   /// Maintenance-engine counters.
   const DatabaseStats& stats() const { return stats_; }
+  /// stats() plus per-graph storage/scan snapshots (data_graph and, when
+  /// a closure is cached, closure_graph). Writer-thread only, like every
+  /// other cache-touching accessor.
+  DatabaseStats CollectStats() const;
   void ResetStats() { stats_ = DatabaseStats(); }
 
  private:

@@ -1,6 +1,10 @@
 #include "rdf/graph.h"
 
 #include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "rdf/scan.h"
 
 namespace swdb {
 
@@ -20,26 +24,65 @@ const char* IndexOrderName(IndexOrder order) {
   return "?";
 }
 
+int ColumnOfPosition(IndexOrder order, int pos) {
+  // Key sequences: pso = (p,s,o), pos = (p,o,s), osp = (o,s,p).
+  static constexpr int kMap[3][3] = {
+      /* kPso: s,p,o -> */ {1, 0, 2},
+      /* kPos: s,p,o -> */ {2, 0, 1},
+      /* kOsp: s,p,o -> */ {1, 2, 0},
+  };
+  return kMap[static_cast<size_t>(order) - 1][pos];
+}
+
 namespace {
 
-// Total orders backing the three permutation indexes. Each compares all
-// three positions, so equal keys imply equal triples (which the primary
-// vector deduplicates) — lookups into a permutation land on exactly one
-// slot.
-inline bool LessPso(const Triple& x, const Triple& y) {
-  if (x.p != y.p) return x.p < y.p;
-  if (x.s != y.s) return x.s < y.s;
-  return x.o < y.o;
+// The raw term bits of a triple permuted into each order's key
+// sequence. Term::operator< compares packed bits, so lexicographic
+// order over these uint32 keys is exactly the old struct comparators'
+// order — the columnar refactor cannot change enumeration order.
+using Key3 = std::array<uint32_t, 3>;
+
+inline Key3 KeyPso(const Triple& t) {
+  return {t.p.bits(), t.s.bits(), t.o.bits()};
 }
-inline bool LessPos(const Triple& x, const Triple& y) {
-  if (x.p != y.p) return x.p < y.p;
-  if (x.o != y.o) return x.o < y.o;
-  return x.s < y.s;
+inline Key3 KeyPos(const Triple& t) {
+  return {t.p.bits(), t.o.bits(), t.s.bits()};
 }
-inline bool LessOsp(const Triple& x, const Triple& y) {
-  if (x.o != y.o) return x.o < y.o;
-  if (x.s != y.s) return x.s < y.s;
-  return x.p < y.p;
+inline Key3 KeyOsp(const Triple& t) {
+  return {t.o.bits(), t.s.bits(), t.p.bits()};
+}
+
+// Lexicographic lower bound of `key` in the columns of `ix` — the patch
+// paths' slot search. Compares contiguous uint32 columns only; no
+// gather through the primary triple vector.
+size_t ColumnarLowerBound(const IndexColumns& ix, const Key3& key) {
+  size_t lo = 0, hi = ix.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    bool less;
+    if (ix.k0[mid] != key[0]) {
+      less = ix.k0[mid] < key[0];
+    } else if (ix.k1[mid] != key[1]) {
+      less = ix.k1[mid] < key[1];
+    } else {
+      less = ix.k2[mid] < key[2];
+    }
+    if (less) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+template <typename Col>
+void InsertAtSlot(Col& col, size_t slot, uint32_t v) {
+  col.insert(col.begin() + static_cast<std::ptrdiff_t>(slot), v);
+}
+template <typename Col>
+void EraseAtSlot(Col& col, size_t slot) {
+  col.erase(col.begin() + static_cast<std::ptrdiff_t>(slot));
 }
 
 }  // namespace
@@ -66,7 +109,13 @@ bool Graph::Insert(const Triple& t) {
   const uint32_t pos = static_cast<uint32_t>(it - triples_.begin());
   triples_.insert(it, t);
   ++epoch_;
-  if (indexes_valid_) PatchIndexesInsert(pos);
+  if (indexes_valid_) {
+    if (unread_patches_.value() >= PatchCrossover(triples_.size())) {
+      DropIndexes();
+    } else {
+      PatchIndexesInsert(pos);
+    }
+  }
   return true;
 }
 
@@ -79,56 +128,89 @@ void Graph::InsertAll(const Graph& other) {
   if (merged.size() == triples_.size()) return;  // other ⊆ *this: no-op
   triples_ = std::move(merged);
   ++epoch_;
-  indexes_valid_ = false;  // bulk path: batched rebuild on next lookup
+  if (indexes_valid_) DropIndexes();  // bulk path: rebuild on next lookup
 }
 
 bool Graph::Erase(const Triple& t) {
   auto it = std::lower_bound(triples_.begin(), triples_.end(), t);
   if (it == triples_.end() || *it != t) return false;
   const uint32_t pos = static_cast<uint32_t>(it - triples_.begin());
-  if (indexes_valid_) PatchIndexesErase(pos);  // before triples_ shifts
+  if (indexes_valid_) {
+    if (unread_patches_.value() >= PatchCrossover(triples_.size())) {
+      DropIndexes();
+    } else {
+      PatchIndexesErase(pos);  // before triples_ shifts
+    }
+  }
   triples_.erase(it);
   ++epoch_;
   return true;
 }
 
+uint64_t Graph::PatchCrossover(size_t n) {
+  // A patch shifts/renumbers O(n) contiguous column entries; a rebuild
+  // pays a comparison sort over the same rows — ~log2(n) passes with a
+  // notably larger per-element constant. Measured on the E17 host the
+  // rebuild costs on the order of tens of patches (see EXPERIMENTS.md),
+  // so 3·log2(n) tracks the ratio across 10k..4M rows while keeping the
+  // floor high enough that small graphs never thrash.
+  uint64_t bits = 0;
+  while ((n >> bits) != 0) ++bits;  // ≈ log2(n) + 1
+  return std::max<uint64_t>(16, 3 * bits);
+}
+
+void Graph::DropIndexes() {
+  indexes_valid_ = false;
+  pso_.clear();
+  pos_.clear();
+  osp_.clear();
+  unread_patches_.Reset();
+  index_drops_.Add(1);
+}
+
 void Graph::PatchIndexesInsert(uint32_t pos) {
   // triples_[pos] is already in place; every pre-existing primary id at
   // or above pos shifted up by one. Renumber, then sorted-insert the new
-  // id into each permutation.
-  auto patch = [&](std::vector<uint32_t>& perm, auto&& less) {
-    for (uint32_t& id : perm) {
-      if (id >= pos) ++id;
+  // entry's key bits and row id into each permutation's columns.
+  const Triple& t = triples_[pos];
+  auto patch = [&](IndexColumns& ix, const Key3& key) {
+    for (uint32_t& r : ix.row) {
+      if (r >= pos) ++r;
     }
-    auto it = std::lower_bound(
-        perm.begin(), perm.end(), pos, [&](uint32_t a, uint32_t b) {
-          return less(triples_[a], triples_[b]);
-        });
-    perm.insert(it, pos);
+    const size_t slot = ColumnarLowerBound(ix, key);
+    InsertAtSlot(ix.k0, slot, key[0]);
+    InsertAtSlot(ix.k1, slot, key[1]);
+    InsertAtSlot(ix.k2, slot, key[2]);
+    InsertAtSlot(ix.row, slot, pos);
   };
-  patch(pso_, LessPso);
-  patch(pos_, LessPos);
-  patch(osp_, LessOsp);
+  patch(pso_, KeyPso(t));
+  patch(pos_, KeyPos(t));
+  patch(osp_, KeyOsp(t));
+  unread_patches_.Add(1);
+  index_patches_.Add(1);
 }
 
 void Graph::PatchIndexesErase(uint32_t pos) {
-  // Called while triples_[pos] is still present: locate the id by binary
-  // search under each total order, remove it, renumber the tail.
-  auto patch = [&](std::vector<uint32_t>& perm, auto&& less) {
-    auto it = std::lower_bound(
-        perm.begin(), perm.end(), pos, [&](uint32_t a, uint32_t b) {
-          return less(triples_[a], triples_[b]);
-        });
-    // The orders are total over distinct triples, so lower_bound lands
-    // exactly on the slot holding pos.
-    perm.erase(it);
-    for (uint32_t& id : perm) {
-      if (id > pos) --id;
+  // Called while triples_[pos] is still present: locate the slot by
+  // binary search on the key columns, remove it, renumber the tail.
+  const Triple& t = triples_[pos];
+  auto patch = [&](IndexColumns& ix, const Key3& key) {
+    // The orders are total over distinct triples, so the lower bound
+    // lands exactly on the slot holding this entry.
+    const size_t slot = ColumnarLowerBound(ix, key);
+    EraseAtSlot(ix.k0, slot);
+    EraseAtSlot(ix.k1, slot);
+    EraseAtSlot(ix.k2, slot);
+    EraseAtSlot(ix.row, slot);
+    for (uint32_t& r : ix.row) {
+      if (r > pos) --r;
     }
   };
-  patch(pso_, LessPso);
-  patch(pos_, LessPos);
-  patch(osp_, LessOsp);
+  patch(pso_, KeyPso(t));
+  patch(pos_, KeyPos(t));
+  patch(osp_, KeyOsp(t));
+  unread_patches_.Add(1);
+  index_patches_.Add(1);
 }
 
 bool Graph::Contains(const Triple& t) const {
@@ -208,22 +290,104 @@ Graph Graph::Union(const Graph& g1, const Graph& g2) {
 }
 
 void Graph::EnsureIndexes() const {
+  // An index read consumes any accumulated patches: the crossover
+  // counter restarts here, so only *unread* patch bursts trigger drops.
+  unread_patches_.Reset();
   if (indexes_valid_) return;
   const size_t n = triples_.size();
-  pso_.resize(n);
-  pos_.resize(n);
-  osp_.resize(n);
-  for (uint32_t i = 0; i < n; ++i) pso_[i] = pos_[i] = osp_[i] = i;
-  std::sort(pso_.begin(), pso_.end(), [this](uint32_t a, uint32_t b) {
-    return LessPso(triples_[a], triples_[b]);
-  });
-  std::sort(pos_.begin(), pos_.end(), [this](uint32_t a, uint32_t b) {
-    return LessPos(triples_[a], triples_[b]);
-  });
-  std::sort(osp_.begin(), osp_.end(), [this](uint32_t a, uint32_t b) {
-    return LessOsp(triples_[a], triples_[b]);
-  });
+  // Sort (key, row) entries together, then split into columns. The
+  // 16-byte entries sort with better locality than id-vector sorts that
+  // gather 12-byte triples per comparison.
+  struct Entry {
+    Key3 key;
+    uint32_t row;
+  };
+  std::vector<Entry> entries(n);
+  auto build = [&](IndexColumns& ix, Key3 (*key_of)(const Triple&)) {
+    for (uint32_t i = 0; i < n; ++i) {
+      entries[i].key = key_of(triples_[i]);
+      entries[i].row = i;
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.key < b.key; });
+    ix.k0.resize(n);
+    ix.k1.resize(n);
+    ix.k2.resize(n);
+    ix.row.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      ix.k0[i] = entries[i].key[0];
+      ix.k1[i] = entries[i].key[1];
+      ix.k2[i] = entries[i].key[2];
+      ix.row[i] = entries[i].row;
+    }
+  };
+  build(pso_, KeyPso);
+  build(pos_, KeyPos);
+  build(osp_, KeyOsp);
   indexes_valid_ = true;
+  index_rebuilds_.Add(1);
+}
+
+GraphStats Graph::Stats() const {
+  GraphStats s;
+  s.index_rebuilds = index_rebuilds_.value();
+  s.index_patches = index_patches_.value();
+  s.index_drops = index_drops_.value();
+  s.matches_calls = matches_calls_.value();
+  s.rows_scanned = rows_scanned_.value();
+  s.rows_yielded = rows_yielded_.value();
+  s.indexes_built = indexes_valid_;
+  s.bytes_primary = triples_.capacity() * sizeof(Triple);
+  s.bytes_pso = pso_.bytes();
+  s.bytes_pos = pos_.bytes();
+  s.bytes_osp = osp_.bytes();
+  return s;
+}
+
+size_t MatchRange::FilterBound(int pos, Term value,
+                               std::vector<uint32_t>* out) const {
+  const size_t before = out->size();
+  if (cols_ != nullptr) {
+    const std::vector<uint32_t>& col =
+        cols_->key_column(ColumnOfPosition(order_, pos));
+    scan::FilterEq(col.data(), first_, last_, value.bits(), out);
+    // The kernel emitted permutation slots; map to primary rows in
+    // place (index order is preserved).
+    for (size_t i = before; i < out->size(); ++i) {
+      (*out)[i] = cols_->row[(*out)[i]];
+    }
+  } else {
+    for (const Triple* t = direct_first_; t != direct_last_; ++t) {
+      const Term v = pos == 0 ? t->s : pos == 1 ? t->p : t->o;
+      if (v == value) out->push_back(static_cast<uint32_t>(t - base_));
+    }
+  }
+  return out->size() - before;
+}
+
+size_t MatchRange::FilterPairEqual(int pos_a, int pos_b,
+                                   std::vector<uint32_t>* out) const {
+  const size_t before = out->size();
+  if (cols_ != nullptr) {
+    const std::vector<uint32_t>& a =
+        cols_->key_column(ColumnOfPosition(order_, pos_a));
+    const std::vector<uint32_t>& b =
+        cols_->key_column(ColumnOfPosition(order_, pos_b));
+    scan::FilterPairEq(a.data(), b.data(), first_, last_, out);
+    for (size_t i = before; i < out->size(); ++i) {
+      (*out)[i] = cols_->row[(*out)[i]];
+    }
+  } else {
+    auto at = [](const Triple& t, int p) {
+      return p == 0 ? t.s : p == 1 ? t.p : t.o;
+    };
+    for (const Triple* t = direct_first_; t != direct_last_; ++t) {
+      if (at(*t, pos_a) == at(*t, pos_b)) {
+        out->push_back(static_cast<uint32_t>(t - base_));
+      }
+    }
+  }
+  return out->size() - before;
 }
 
 namespace {
@@ -263,20 +427,24 @@ MatchRange Graph::Matches(std::optional<Term> s, std::optional<Term> p,
                           std::optional<Term> o) const {
   const Triple* base = triples_.data();
   const Triple* last = base + triples_.size();
+  matches_calls_.Add(1);
 
-  // Equal-range over a permutation vector, comparing the projected
-  // leading positions of the order against a prefix key.
-  auto perm_range = [&](const std::vector<uint32_t>& perm, auto project,
-                        Key2 key, IndexOrder order) {
-    PrefixCmp<decltype(project)> below{project, key};
-    auto lo = std::lower_bound(
-        perm.begin(), perm.end(), 0,
-        [&](uint32_t i, int k) { return below(triples_[i], k); });
-    auto hi = std::upper_bound(
-        lo, perm.end(), 0,
-        [&](int k, uint32_t i) { return below(k, triples_[i]); });
-    return MatchRange::Permuted(base, perm.data() + (lo - perm.begin()),
-                                perm.data() + (hi - perm.begin()), order);
+  // One- or two-key equal range over a permutation's sorted columns:
+  // k0 == key0, then (optionally) k1 == key1 within the k0 run. Both
+  // narrowings are hybrid binary-search + vectorized window sweeps
+  // (scan::SortedEqualRange), touching only contiguous uint32 columns.
+  auto col_range = [&](const IndexColumns& ix, uint32_t key0,
+                       const uint32_t* key1, IndexOrder order) {
+    size_t scanned = 0;
+    auto [lo, hi] =
+        scan::SortedEqualRange(ix.k0.data(), 0, ix.size(), key0, &scanned);
+    if (key1 != nullptr && lo < hi) {
+      std::tie(lo, hi) =
+          scan::SortedEqualRange(ix.k1.data(), lo, hi, *key1, &scanned);
+    }
+    rows_scanned_.Add(scanned);
+    rows_yielded_.Add(hi - lo);
+    return MatchRange::Columnar(base, &ix, lo, hi, order);
   };
 
   if (s) {
@@ -284,17 +452,16 @@ MatchRange Graph::Matches(std::optional<Term> s, std::optional<Term> p,
       // Fully bound: a zero- or one-element run in the primary order.
       Triple key(*s, *p, *o);
       auto [lo, hi] = std::equal_range(triples_.begin(), triples_.end(), key);
-      return MatchRange::Direct(base + (lo - triples_.begin()),
+      rows_yielded_.Add(static_cast<size_t>(hi - lo));
+      return MatchRange::Direct(base, base + (lo - triples_.begin()),
                                 base + (hi - triples_.begin()),
                                 IndexOrder::kSpo);
     }
     if (o) {
       // (s, *, o): contiguous under (o,s,p).
       EnsureIndexes();
-      return perm_range(
-          osp_,
-          [](const Triple& t) { return std::pair<Term, Term>(t.o, t.s); },
-          Key2{*o, true, *s}, IndexOrder::kOsp);
+      const uint32_t key1 = s->bits();
+      return col_range(osp_, o->bits(), &key1, IndexOrder::kOsp);
     }
     // (s) or (s, p): prefix runs of the primary (s,p,o) order.
     Key2 key{*s, p.has_value(), p.value_or(Term())};
@@ -306,31 +473,25 @@ MatchRange Graph::Matches(std::optional<Term> s, std::optional<Term> p,
     auto hi = std::upper_bound(
         lo, triples_.end(), 0,
         [&](int k, const Triple& t) { return below(k, t); });
-    return MatchRange::Direct(base + (lo - triples_.begin()),
+    rows_yielded_.Add(static_cast<size_t>(hi - lo));
+    return MatchRange::Direct(base, base + (lo - triples_.begin()),
                               base + (hi - triples_.begin()),
                               IndexOrder::kSpo);
   }
   if (p) {
     EnsureIndexes();
     if (o) {
-      return perm_range(
-          pos_,
-          [](const Triple& t) { return std::pair<Term, Term>(t.p, t.o); },
-          Key2{*p, true, *o}, IndexOrder::kPos);
+      const uint32_t key1 = o->bits();
+      return col_range(pos_, p->bits(), &key1, IndexOrder::kPos);
     }
-    return perm_range(
-        pso_,
-        [](const Triple& t) { return std::pair<Term, Term>(t.p, t.s); },
-        Key2{*p, false, Term()}, IndexOrder::kPso);
+    return col_range(pso_, p->bits(), nullptr, IndexOrder::kPso);
   }
   if (o) {
     EnsureIndexes();
-    return perm_range(
-        osp_,
-        [](const Triple& t) { return std::pair<Term, Term>(t.o, t.s); },
-        Key2{*o, false, Term()}, IndexOrder::kOsp);
+    return col_range(osp_, o->bits(), nullptr, IndexOrder::kOsp);
   }
-  return MatchRange::Direct(base, last, IndexOrder::kFullScan);
+  rows_yielded_.Add(triples_.size());
+  return MatchRange::Direct(base, base, last, IndexOrder::kFullScan);
 }
 
 }  // namespace swdb

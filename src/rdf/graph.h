@@ -1,6 +1,7 @@
 #ifndef SWDB_RDF_GRAPH_H_
 #define SWDB_RDF_GRAPH_H_
 
+#include <atomic>
 #include <cstdint>
 #include <initializer_list>
 #include <optional>
@@ -36,102 +37,241 @@ inline constexpr size_t kNumIndexOrders = 5;
 /// Short name of an index order ("spo", "pso", "pos", "osp", "scan").
 const char* IndexOrderName(IndexOrder order);
 
+/// Column index (0..2) holding triple position `pos` (0=s, 1=p, 2=o) of
+/// a permutation order. E.g. for kPso the key sequence is (p,s,o): the
+/// subject lives in column 1, the predicate in column 0, the object in
+/// column 2. Only valid for the three permutation orders.
+int ColumnOfPosition(IndexOrder order, int pos);
+
+/// Structure-of-arrays columns backing one permutation index. Entry i of
+/// the permutation is the triple triples_[row[i]]; (k0[i], k1[i], k2[i])
+/// are its raw term bits (Term::bits) permuted into the order's key
+/// sequence, and the columns are sorted lexicographically by (k0,k1,k2).
+/// A bound-position lookup or residual filter is therefore a contiguous
+/// sweep over ONE uint32_t column — the layout the vectorized kernels in
+/// scan.h operate on — instead of a strided gather through 12-byte
+/// Triple structs.
+struct IndexColumns {
+  std::vector<uint32_t> k0, k1, k2, row;
+
+  size_t size() const { return row.size(); }
+  size_t bytes() const {
+    return (k0.capacity() + k1.capacity() + k2.capacity() + row.capacity()) *
+           sizeof(uint32_t);
+  }
+  const std::vector<uint32_t>& key_column(int k) const {
+    return k == 0 ? k0 : k == 1 ? k1 : k2;
+  }
+  void clear() {
+    k0.clear();
+    k1.clear();
+    k2.clear();
+    row.clear();
+  }
+};
+
+/// A cumulative counter that tolerates concurrent readers: relaxed
+/// atomic load/store (no RMW, so hot-path increments stay cheap), which
+/// may drop updates when several threads bump it at once. Exact on the
+/// single-threaded paths the tests and benches measure; best-effort
+/// observability under the concurrent snapshot read path. Copyable so
+/// Graph keeps its value semantics.
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  RelaxedCounter(const RelaxedCounter& o) : v_(o.value()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& o) {
+    v_.store(o.value(), std::memory_order_relaxed);
+    return *this;
+  }
+  void Add(uint64_t d) const {
+    v_.store(v_.load(std::memory_order_relaxed) + d,
+             std::memory_order_relaxed);
+  }
+  void Reset() const { v_.store(0, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  mutable std::atomic<uint64_t> v_{0};
+};
+
+/// Storage and scan observability for one Graph, snapshotted by
+/// Graph::Stats. Counters are cumulative since construction; byte sizes
+/// reflect the current footprint.
+struct GraphStats {
+  uint64_t index_rebuilds = 0;   ///< full columnar index (re)builds
+  uint64_t index_patches = 0;    ///< in-place single-mutation patches
+  uint64_t index_drops = 0;      ///< crossover / bulk-load index drops
+  uint64_t matches_calls = 0;    ///< Matches() lookups served
+  uint64_t rows_scanned = 0;     ///< rows examined by lookup sweeps
+  uint64_t rows_yielded = 0;     ///< rows in the returned ranges
+  bool indexes_built = false;    ///< permutation columns currently valid
+  size_t bytes_primary = 0;      ///< primary (s,p,o) triple vector
+  size_t bytes_pso = 0;          ///< pso columns (0 until built)
+  size_t bytes_pos = 0;          ///< pos columns
+  size_t bytes_osp = 0;          ///< osp columns
+  size_t bytes_total() const {
+    return bytes_primary + bytes_pso + bytes_pos + bytes_osp;
+  }
+};
+
 /// A resolved, contiguous range of triples matching a pattern — the
 /// equal_range analogue of Graph::Match. Iterating a MatchRange touches
-/// no heap and performs no comparisons: every element is a match. The
-/// range stays valid until the graph is mutated.
+/// no hash table and performs no comparisons: every element is a match.
+/// Permuted ranges iterate the columnar index directly (three contiguous
+/// column streams, no gather through the primary vector). The range
+/// stays valid until the graph is mutated.
 class MatchRange {
  public:
   class const_iterator {
    public:
-    using iterator_category = std::forward_iterator_tag;
+    using iterator_category = std::input_iterator_tag;
     using value_type = Triple;
     using difference_type = std::ptrdiff_t;
     using pointer = const Triple*;
     using reference = const Triple&;
 
-    const Triple& operator*() const { return ids_ ? base_[*ids_] : *direct_; }
+    const Triple& operator*() const {
+      if (direct_ != nullptr) return *direct_;
+      scratch_.s = Term::FromBits(col_s_[idx_]);
+      scratch_.p = Term::FromBits(col_p_[idx_]);
+      scratch_.o = Term::FromBits(col_o_[idx_]);
+      return scratch_;
+    }
     const Triple* operator->() const { return &**this; }
     const_iterator& operator++() {
-      if (ids_) {
-        ++ids_;
-      } else {
+      if (direct_ != nullptr) {
         ++direct_;
+      } else {
+        ++idx_;
       }
       return *this;
     }
     bool operator==(const const_iterator& o) const {
-      return direct_ == o.direct_ && ids_ == o.ids_;
+      return direct_ == o.direct_ && idx_ == o.idx_;
     }
     bool operator!=(const const_iterator& o) const { return !(*this == o); }
 
    private:
     friend class MatchRange;
-    const_iterator(const Triple* base, const Triple* direct,
-                   const uint32_t* ids)
-        : base_(base), direct_(direct), ids_(ids) {}
+    const_iterator(const Triple* direct, const uint32_t* col_s,
+                   const uint32_t* col_p, const uint32_t* col_o, size_t idx)
+        : direct_(direct),
+          col_s_(col_s),
+          col_p_(col_p),
+          col_o_(col_o),
+          idx_(idx) {}
 
-    const Triple* base_;    // permutation base (id mode)
-    const Triple* direct_;  // current element (direct mode)
-    const uint32_t* ids_;   // current id (id mode), nullptr in direct mode
+    const Triple* direct_;   // current element (direct mode), else nullptr
+    const uint32_t* col_s_;  // per-position key columns (columnar mode)
+    const uint32_t* col_p_;
+    const uint32_t* col_o_;
+    size_t idx_ = 0;         // current column slot (columnar mode)
+    mutable Triple scratch_;  // materialization target of operator*
   };
 
   MatchRange() = default;
 
   /// A run [first, last) directly inside the primary triple vector.
-  static MatchRange Direct(const Triple* first, const Triple* last,
-                           IndexOrder order) {
+  /// `base` is the primary vector's start (for row-id resolution).
+  static MatchRange Direct(const Triple* base, const Triple* first,
+                           const Triple* last, IndexOrder order) {
     MatchRange r;
+    r.base_ = base;
     r.direct_first_ = first;
     r.direct_last_ = last;
     r.order_ = order;
     return r;
   }
 
-  /// A run [first, last) of indices into `base` (a permutation slice).
-  static MatchRange Permuted(const Triple* base, const uint32_t* first,
-                             const uint32_t* last, IndexOrder order) {
+  /// A run [first, last) of slots in a permutation's columns. `base` is
+  /// the primary vector's start (cols->row[i] indexes into it).
+  static MatchRange Columnar(const Triple* base, const IndexColumns* cols,
+                             size_t first, size_t last, IndexOrder order) {
     MatchRange r;
     r.base_ = base;
-    r.ids_first_ = first;
-    r.ids_last_ = last;
+    r.cols_ = cols;
+    r.first_ = first;
+    r.last_ = last;
     r.order_ = order;
     return r;
   }
 
   size_t size() const {
-    return ids_first_ ? static_cast<size_t>(ids_last_ - ids_first_)
-                      : static_cast<size_t>(direct_last_ - direct_first_);
+    return cols_ != nullptr
+               ? last_ - first_
+               : static_cast<size_t>(direct_last_ - direct_first_);
   }
   bool empty() const { return size() == 0; }
   IndexOrder order() const { return order_; }
 
+  /// True when the range is backed by permutation columns, i.e. the
+  /// Filter* fast paths run vectorized over contiguous columns.
+  bool columnar() const { return cols_ != nullptr; }
+
+  /// The triple at primary row id `row` (as emitted by the Filter*
+  /// methods).
+  const Triple& TripleAt(uint32_t row) const { return base_[row]; }
+
+  /// Residual bound-position filter: appends to *out the primary row ids
+  /// of the range elements whose position `pos` (0=s, 1=p, 2=o) holds
+  /// `value`, in range order. Vectorized compare-and-compress over the
+  /// backing column when columnar(); scalar sweep in direct mode.
+  /// Returns the number of rows appended.
+  size_t FilterBound(int pos, Term value, std::vector<uint32_t>* out) const;
+
+  /// Repeated-position residual (e.g. pattern (X, p, X)): appends the
+  /// primary row ids of elements whose positions `pos_a` and `pos_b`
+  /// hold equal terms, in range order. Returns the number appended.
+  size_t FilterPairEqual(int pos_a, int pos_b,
+                         std::vector<uint32_t>* out) const;
+
   const_iterator begin() const {
-    return const_iterator(base_, direct_first_, ids_first_);
+    if (cols_ != nullptr) {
+      return const_iterator(nullptr, col_of_pos(0), col_of_pos(1),
+                            col_of_pos(2), first_);
+    }
+    return const_iterator(direct_first_, nullptr, nullptr, nullptr, 0);
   }
   const_iterator end() const {
-    return const_iterator(base_, direct_last_, ids_last_);
+    if (cols_ != nullptr) {
+      return const_iterator(nullptr, col_of_pos(0), col_of_pos(1),
+                            col_of_pos(2), last_);
+    }
+    return const_iterator(direct_last_, nullptr, nullptr, nullptr, 0);
   }
 
  private:
-  const Triple* base_ = nullptr;
-  const Triple* direct_first_ = nullptr;
+  const uint32_t* col_of_pos(int pos) const {
+    return cols_->key_column(ColumnOfPosition(order_, pos)).data();
+  }
+
+  const Triple* base_ = nullptr;          // primary vector start
+  const Triple* direct_first_ = nullptr;  // direct mode bounds
   const Triple* direct_last_ = nullptr;
-  const uint32_t* ids_first_ = nullptr;
-  const uint32_t* ids_last_ = nullptr;
+  const IndexColumns* cols_ = nullptr;    // columnar mode backing
+  size_t first_ = 0;                      // columnar mode slot bounds
+  size_t last_ = 0;
   IndexOrder order_ = IndexOrder::kFullScan;
 };
 
 /// An RDF graph: a finite set of RDF triples (paper Def. 2.1).
 ///
 /// Triples are kept in a sorted, deduplicated vector in (s, p, o) order.
-/// Three auxiliary permutations in (p,s,o), (p,o,s) and (o,s,p) order are
-/// built lazily to serve the pattern-matching queries issued by the
-/// homomorphism solver and the closure fixpoint. Single-triple
-/// Insert/Erase *maintain* built permutations in place (one sorted
-/// insert/erase of an id per order); only the bulk InsertAll path drops
-/// them for a batched rebuild. Either way, outstanding MatchRanges are
-/// invalidated by any mutation.
+/// Three auxiliary permutations in (p,s,o), (p,o,s) and (o,s,p) order
+/// are built lazily to serve the pattern-matching queries issued by the
+/// homomorphism solver and the closure fixpoint. Each permutation is
+/// stored as structure-of-arrays columns (IndexColumns): three raw
+/// term-bit columns in key order plus the primary row id, so lookups and
+/// residual filters sweep one contiguous uint32_t column (vectorized via
+/// scan.h) instead of gathering Triple structs.
+///
+/// Single-triple Insert/Erase *maintain* built permutations in place
+/// (one sorted insert/erase per column), up to a crossover: once more
+/// patches accumulate between index reads than a batched rebuild would
+/// cost, the columns are dropped and the next lookup rebuilds them once
+/// (the bulk InsertAll path always takes the rebuild route). Either
+/// way, outstanding MatchRanges are invalidated by any mutation.
 ///
 /// Every mutation that changes the triple set bumps an epoch counter, so
 /// derived structures (closure caches, membership indexes) can detect —
@@ -230,6 +370,16 @@ class Graph {
   /// Matches/Contains calls; after that every read path is const-clean.
   void WarmIndexes() const { EnsureIndexes(); }
 
+  /// Storage/scan observability snapshot (see GraphStats). Counter
+  /// semantics under concurrent readers follow RelaxedCounter.
+  GraphStats Stats() const;
+
+  /// Patches-between-reads crossover for a graph of n triples: beyond
+  /// this many in-place index patches with no intervening index read,
+  /// the permutations are dropped and rebuilt once on the next lookup.
+  /// Exposed for the crossover regression tests.
+  static uint64_t PatchCrossover(size_t n);
+
  private:
   void Normalize();
   void EnsureIndexes() const;
@@ -237,17 +387,31 @@ class Graph {
   // mutation at primary position `pos` (no-ops when indexes are stale).
   void PatchIndexesInsert(uint32_t pos);
   void PatchIndexesErase(uint32_t pos);
+  // Drops the permutation columns (next lookup rebuilds).
+  void DropIndexes();
 
   // Sorted (s,p,o), deduplicated.
   std::vector<Triple> triples_;
 
   uint64_t epoch_ = 0;
 
-  // Lazily built permutations of indices into triples_.
+  // Lazily built columnar permutations (see IndexColumns).
   mutable bool indexes_valid_ = false;
-  mutable std::vector<uint32_t> pso_;  // sorted by (p,s,o)
-  mutable std::vector<uint32_t> pos_;  // sorted by (p,o,s)
-  mutable std::vector<uint32_t> osp_;  // sorted by (o,s,p)
+  mutable IndexColumns pso_;  // sorted by (p,s,o)
+  mutable IndexColumns pos_;  // sorted by (p,o,s)
+  mutable IndexColumns osp_;  // sorted by (o,s,p)
+
+  // In-place patches applied since the last index read (reset by
+  // EnsureIndexes); drives the patch-vs-rebuild crossover.
+  RelaxedCounter unread_patches_;
+
+  // Observability (see GraphStats / Stats()).
+  RelaxedCounter index_rebuilds_;
+  RelaxedCounter index_patches_;
+  RelaxedCounter index_drops_;
+  RelaxedCounter matches_calls_;
+  RelaxedCounter rows_scanned_;
+  RelaxedCounter rows_yielded_;
 };
 
 }  // namespace swdb

@@ -100,8 +100,18 @@ void PatternMatcher::CompilePattern() {
       if (inserted) slots_.push_back({terms[pos], terms[pos].IsBlank()});
       ct.slot[pos] = it->second;
     }
+    for (int a = 0; a < 3 && ct.rep_a < 0; ++a) {
+      for (int b = a + 1; b < 3; ++b) {
+        if (ct.slot[a] != kNoSlot && ct.slot[a] == ct.slot[b]) {
+          ct.rep_a = static_cast<int8_t>(a);
+          ct.rep_b = static_cast<int8_t>(b);
+          break;
+        }
+      }
+    }
     compiled_.push_back(ct);
   }
+  row_scratch_.resize(pattern_.size());
   binding_.resize(slots_.size());
   bound_.assign(slots_.size(), 0);
   slot_version_.assign(slots_.size(), 1);
@@ -179,10 +189,24 @@ Status PatternMatcher::Enumerate(
             have_exclude ? *options_.exclude_triple : Triple();
         std::vector<Triple> roots;
         roots.reserve(range.size());
-        for (const Triple& tt : range) {
-          ++stats_.candidates_scanned;
-          if (have_exclude && tt == exclude) continue;
-          roots.push_back(tt);
+        if (ct.rep_a >= 0 && !bound_[ct.slot[ct.rep_a]]) {
+          // Same repeated-position pre-filter Search applies, so the
+          // chunks see exactly the sequential fast path's candidates
+          // and per-root binds_attempted accounting stays in parity.
+          std::vector<uint32_t> rows;
+          range.FilterPairEqual(ct.rep_a, ct.rep_b, &rows);
+          stats_.candidates_scanned += range.size();
+          for (uint32_t row : rows) {
+            const Triple& tt = range.TripleAt(row);
+            if (have_exclude && tt == exclude) continue;
+            roots.push_back(tt);
+          }
+        } else {
+          for (const Triple& tt : range) {
+            ++stats_.candidates_scanned;
+            if (have_exclude && tt == exclude) continue;
+            roots.push_back(tt);
+          }
         }
         EnumerateParallel(pending_[pick], std::move(roots), visitor);
         searched_parallel = true;
@@ -457,6 +481,32 @@ bool PatternMatcher::Search(size_t depth,
   const bool have_exclude = options_.exclude_triple.has_value();
   const Triple exclude =
       have_exclude ? *options_.exclude_triple : Triple();
+
+  // Repeated-position residual: while the shared slot is unbound, the
+  // index range constrains only the other positions, so every candidate
+  // whose repeated positions differ is a guaranteed TryBind reject.
+  // Filter them in one pass over the backing column (vectorized when the
+  // range is columnar) and materialize only the survivors.
+  if (ct.rep_a >= 0 && !bound_[ct.slot[ct.rep_a]] && !range.empty()) {
+    std::vector<uint32_t>& rows = row_scratch_[depth];
+    rows.clear();
+    range.FilterPairEqual(ct.rep_a, ct.rep_b, &rows);
+    stats_.candidates_scanned += range.size();
+    for (uint32_t row : rows) {
+      const Triple& tt = range.TripleAt(row);
+      if (have_exclude && tt == exclude) continue;
+      ++stats_.binds_attempted;
+      const size_t mark = trail_.size();
+      if (TryBind(ct, tt)) {
+        Search(depth + 1, visitor, stopped);
+      }
+      UndoTo(mark);
+      if (budget_exhausted_ || *stopped) break;
+    }
+    std::swap(pending_[depth], pending_[pick]);
+    return true;
+  }
+
   for (const Triple& tt : range) {
     ++stats_.candidates_scanned;
     if (have_exclude && tt == exclude) continue;

@@ -163,6 +163,13 @@ class PatternMatcher {
   struct CompiledTriple {
     Triple consts;                    // original terms (constants used as-is)
     std::array<int32_t, 3> slot;      // slot id per position, or kNoSlot
+    // First pair of positions sharing an open slot (e.g. (X,p,X)), or
+    // -1/-1. While that slot is unbound, the index range constrains only
+    // the other positions, so Search pre-filters candidates with
+    // MatchRange::FilterPairEqual (vectorized over the backing column)
+    // instead of materializing and rejecting each triple in TryBind.
+    int8_t rep_a = -1;
+    int8_t rep_b = -1;
   };
   struct SlotInfo {
     Term term;      // the pattern's blank node or variable
@@ -248,6 +255,10 @@ class PatternMatcher {
   std::vector<uint32_t> trail_;       // bound slot ids, in bind order
   std::vector<Selectivity> sel_;      // per pattern triple
   FlatTermSet used_blank_values_;     // injectivity (iso search) only
+  // Per-depth row-id buffers for the repeated-position fast path (sized
+  // once in CompilePattern so recursion never reallocates the vector of
+  // vectors; each depth owns its buffer across its candidate loop).
+  std::vector<std::vector<uint32_t>> row_scratch_;
   TermMap solution_map_;              // scratch map handed to visitors
   uint64_t steps_ = 0;
   bool budget_exhausted_ = false;

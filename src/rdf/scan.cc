@@ -1,0 +1,311 @@
+#include "rdf/scan.h"
+
+#include <algorithm>
+
+// SIMD bodies are gated twice: SWDB_SIMD (the CMake option; absent in
+// the scalar-fallback build) and the target architecture. On x86-64 the
+// SSE2 body is always safe (SSE2 is part of the base ABI); the AVX2
+// body is compiled with a per-function target attribute and selected at
+// runtime via __builtin_cpu_supports, so the library binary still runs
+// on CPUs without AVX2.
+#if defined(SWDB_SIMD) && (defined(__x86_64__) || defined(_M_X64))
+#define SWDB_SCAN_X86 1
+#include <immintrin.h>
+#endif
+
+namespace swdb {
+namespace scan {
+
+namespace {
+
+#if SWDB_SCAN_X86
+
+bool HaveAvx2() {
+  static const bool have = __builtin_cpu_supports("avx2");
+  return have;
+}
+
+// --- AVX2 bodies (selected at runtime) -----------------------------------
+
+__attribute__((target("avx2"))) size_t FilterEqAvx2(
+    const uint32_t* col, size_t lo, size_t hi, uint32_t key,
+    std::vector<uint32_t>* out) {
+  const size_t before = out->size();
+  const __m256i vkey = _mm256_set1_epi32(static_cast<int>(key));
+  size_t i = lo;
+  for (; i + 8 <= hi; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col + i));
+    const __m256i eq = _mm256_cmpeq_epi32(v, vkey);
+    unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(eq)));
+    while (mask != 0) {
+      const unsigned bit = static_cast<unsigned>(__builtin_ctz(mask));
+      out->push_back(static_cast<uint32_t>(i + bit));
+      mask &= mask - 1;
+    }
+  }
+  for (; i < hi; ++i) {
+    if (col[i] == key) out->push_back(static_cast<uint32_t>(i));
+  }
+  return out->size() - before;
+}
+
+__attribute__((target("avx2"))) size_t FilterPairEqAvx2(
+    const uint32_t* a, const uint32_t* b, size_t lo, size_t hi,
+    std::vector<uint32_t>* out) {
+  const size_t before = out->size();
+  size_t i = lo;
+  for (; i + 8 <= hi; i += 8) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i eq = _mm256_cmpeq_epi32(va, vb);
+    unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(eq)));
+    while (mask != 0) {
+      const unsigned bit = static_cast<unsigned>(__builtin_ctz(mask));
+      out->push_back(static_cast<uint32_t>(i + bit));
+      mask &= mask - 1;
+    }
+  }
+  for (; i < hi; ++i) {
+    if (a[i] == b[i]) out->push_back(static_cast<uint32_t>(i));
+  }
+  return out->size() - before;
+}
+
+// Counts elements < key and <= key in col[lo, hi) with one pass.
+// Unsigned compares built from signed cmpgt by flipping the sign bit.
+__attribute__((target("avx2"))) std::pair<size_t, size_t> CountBoundsAvx2(
+    const uint32_t* col, size_t lo, size_t hi, uint32_t key) {
+  const __m256i flip = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  const __m256i vkey =
+      _mm256_xor_si256(_mm256_set1_epi32(static_cast<int>(key)), flip);
+  size_t lt = 0, gt = 0;
+  size_t i = lo;
+  for (; i + 8 <= hi; i += 8) {
+    const __m256i v = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col + i)), flip);
+    const unsigned lt_mask = static_cast<unsigned>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpgt_epi32(vkey, v))));
+    const unsigned gt_mask = static_cast<unsigned>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpgt_epi32(v, vkey))));
+    lt += static_cast<size_t>(__builtin_popcount(lt_mask));
+    gt += static_cast<size_t>(__builtin_popcount(gt_mask));
+  }
+  for (; i < hi; ++i) {
+    lt += col[i] < key ? 1 : 0;
+    gt += col[i] > key ? 1 : 0;
+  }
+  return {lt, (hi - lo) - gt};  // {#(< key), #(<= key)}
+}
+
+// --- SSE2 bodies (base x86-64 ABI, no runtime check needed) ---------------
+
+size_t FilterEqSse2(const uint32_t* col, size_t lo, size_t hi, uint32_t key,
+                    std::vector<uint32_t>* out) {
+  const size_t before = out->size();
+  const __m128i vkey = _mm_set1_epi32(static_cast<int>(key));
+  size_t i = lo;
+  for (; i + 4 <= hi; i += 4) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(col + i));
+    unsigned mask = static_cast<unsigned>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(v, vkey))));
+    while (mask != 0) {
+      const unsigned bit = static_cast<unsigned>(__builtin_ctz(mask));
+      out->push_back(static_cast<uint32_t>(i + bit));
+      mask &= mask - 1;
+    }
+  }
+  for (; i < hi; ++i) {
+    if (col[i] == key) out->push_back(static_cast<uint32_t>(i));
+  }
+  return out->size() - before;
+}
+
+size_t FilterPairEqSse2(const uint32_t* a, const uint32_t* b, size_t lo,
+                        size_t hi, std::vector<uint32_t>* out) {
+  const size_t before = out->size();
+  size_t i = lo;
+  for (; i + 4 <= hi; i += 4) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    unsigned mask = static_cast<unsigned>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(va, vb))));
+    while (mask != 0) {
+      const unsigned bit = static_cast<unsigned>(__builtin_ctz(mask));
+      out->push_back(static_cast<uint32_t>(i + bit));
+      mask &= mask - 1;
+    }
+  }
+  for (; i < hi; ++i) {
+    if (a[i] == b[i]) out->push_back(static_cast<uint32_t>(i));
+  }
+  return out->size() - before;
+}
+
+std::pair<size_t, size_t> CountBoundsSse2(const uint32_t* col, size_t lo,
+                                          size_t hi, uint32_t key) {
+  const __m128i flip = _mm_set1_epi32(static_cast<int>(0x80000000u));
+  const __m128i vkey =
+      _mm_xor_si128(_mm_set1_epi32(static_cast<int>(key)), flip);
+  size_t lt = 0, gt = 0;
+  size_t i = lo;
+  for (; i + 4 <= hi; i += 4) {
+    const __m128i v = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(col + i)), flip);
+    const unsigned lt_mask = static_cast<unsigned>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmplt_epi32(v, vkey))));
+    const unsigned gt_mask = static_cast<unsigned>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpgt_epi32(v, vkey))));
+    lt += static_cast<size_t>(__builtin_popcount(lt_mask));
+    gt += static_cast<size_t>(__builtin_popcount(gt_mask));
+  }
+  for (; i < hi; ++i) {
+    lt += col[i] < key ? 1 : 0;
+    gt += col[i] > key ? 1 : 0;
+  }
+  return {lt, (hi - lo) - gt};
+}
+
+#endif  // SWDB_SCAN_X86
+
+// Scalar compare-and-count over a window; the reference body behind
+// SortedEqualRangeScalar's final sweep.
+std::pair<size_t, size_t> CountBoundsScalar(const uint32_t* col, size_t lo,
+                                            size_t hi, uint32_t key) {
+  size_t lt = 0, le = 0;
+  for (size_t i = lo; i < hi; ++i) {
+    lt += col[i] < key ? 1 : 0;
+    le += col[i] <= key ? 1 : 0;
+  }
+  return {lt, le};
+}
+
+// Halve [lo, hi) under the lower_bound predicate (col[mid] < key) until
+// the window fits the linear sweep. The lower bound is then
+// window-start + #(elements < key in window). The upper-bound twin uses
+// col[mid] <= key. Shared by the scalar and SIMD paths so both sweep
+// the exact same window (a prerequisite of bit-identity, and it keeps
+// the `scanned` counter comparable across builds); the window never
+// exceeds kSortedScanWindow, so a huge equal run still costs
+// O(log n + window), not O(run).
+std::pair<size_t, size_t> NarrowLower(const uint32_t* col, size_t lo,
+                                      size_t hi, uint32_t key) {
+  while (hi - lo > kSortedScanWindow) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (col[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return {lo, hi};
+}
+
+std::pair<size_t, size_t> NarrowUpper(const uint32_t* col, size_t lo,
+                                      size_t hi, uint32_t key) {
+  while (hi - lo > kSortedScanWindow) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (col[mid] <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return {lo, hi};
+}
+
+}  // namespace
+
+bool SimdEnabled() {
+#if SWDB_SCAN_X86
+  return true;
+#else
+  return false;
+#endif
+}
+
+const char* KernelName() {
+#if SWDB_SCAN_X86
+  return HaveAvx2() ? "avx2" : "sse2";
+#else
+  return "scalar";
+#endif
+}
+
+size_t FilterEqScalar(const uint32_t* col, size_t lo, size_t hi, uint32_t key,
+                      std::vector<uint32_t>* out) {
+  const size_t before = out->size();
+  for (size_t i = lo; i < hi; ++i) {
+    if (col[i] == key) out->push_back(static_cast<uint32_t>(i));
+  }
+  return out->size() - before;
+}
+
+size_t FilterEq(const uint32_t* col, size_t lo, size_t hi, uint32_t key,
+                std::vector<uint32_t>* out) {
+#if SWDB_SCAN_X86
+  if (HaveAvx2()) return FilterEqAvx2(col, lo, hi, key, out);
+  return FilterEqSse2(col, lo, hi, key, out);
+#else
+  return FilterEqScalar(col, lo, hi, key, out);
+#endif
+}
+
+size_t FilterPairEqScalar(const uint32_t* a, const uint32_t* b, size_t lo,
+                          size_t hi, std::vector<uint32_t>* out) {
+  const size_t before = out->size();
+  for (size_t i = lo; i < hi; ++i) {
+    if (a[i] == b[i]) out->push_back(static_cast<uint32_t>(i));
+  }
+  return out->size() - before;
+}
+
+size_t FilterPairEq(const uint32_t* a, const uint32_t* b, size_t lo,
+                    size_t hi, std::vector<uint32_t>* out) {
+#if SWDB_SCAN_X86
+  if (HaveAvx2()) return FilterPairEqAvx2(a, b, lo, hi, out);
+  return FilterPairEqSse2(a, b, lo, hi, out);
+#else
+  return FilterPairEqScalar(a, b, lo, hi, out);
+#endif
+}
+
+std::pair<size_t, size_t> SortedEqualRangeScalar(const uint32_t* col,
+                                                 size_t lo, size_t hi,
+                                                 uint32_t key,
+                                                 size_t* scanned) {
+  const auto [llo, lhi] = NarrowLower(col, lo, hi, key);
+  const auto [ulo, uhi] = NarrowUpper(col, lo, hi, key);
+  if (scanned != nullptr) *scanned += (lhi - llo) + (uhi - ulo);
+  const size_t first = llo + CountBoundsScalar(col, llo, lhi, key).first;
+  const size_t last = ulo + CountBoundsScalar(col, ulo, uhi, key).second;
+  return {first, last};
+}
+
+std::pair<size_t, size_t> SortedEqualRange(const uint32_t* col, size_t lo,
+                                           size_t hi, uint32_t key,
+                                           size_t* scanned) {
+#if SWDB_SCAN_X86
+  const auto [llo, lhi] = NarrowLower(col, lo, hi, key);
+  const auto [ulo, uhi] = NarrowUpper(col, lo, hi, key);
+  if (scanned != nullptr) *scanned += (lhi - llo) + (uhi - ulo);
+  if (HaveAvx2()) {
+    return {llo + CountBoundsAvx2(col, llo, lhi, key).first,
+            ulo + CountBoundsAvx2(col, ulo, uhi, key).second};
+  }
+  return {llo + CountBoundsSse2(col, llo, lhi, key).first,
+          ulo + CountBoundsSse2(col, ulo, uhi, key).second};
+#else
+  return SortedEqualRangeScalar(col, lo, hi, key, scanned);
+#endif
+}
+
+}  // namespace scan
+}  // namespace swdb

@@ -1,0 +1,68 @@
+#ifndef SWDB_RDF_SCAN_H_
+#define SWDB_RDF_SCAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace swdb {
+namespace scan {
+
+/// Vectorized column-scan kernels backing the columnar triple indexes
+/// (graph.h). Every kernel has a scalar reference implementation that is
+/// always compiled; the dispatched entry points select a SIMD body when
+/// the build enables it (SWDB_SIMD, the default) and the host CPU
+/// supports it, and are REQUIRED to be bit-identical to the scalar
+/// reference on every input: same positions, same order, same counts.
+/// Parity between the two is fuzzed in graph_test.cc, and CI runs the
+/// whole suite once with SWDB_SIMD=OFF.
+///
+/// All position outputs are ascending (index order), so consumers that
+/// enumerate candidates through them preserve the enumeration order of
+/// an unfiltered sweep.
+
+/// True when a SIMD body is compiled in *and* selected at runtime.
+bool SimdEnabled();
+
+/// Name of the kernel the dispatched entry points run: "avx2", "sse2"
+/// or "scalar". Stable strings, suitable for bench labels.
+const char* KernelName();
+
+/// Appends to *out every position i in [lo, hi) with col[i] == key,
+/// ascending. Returns the number of positions appended.
+size_t FilterEq(const uint32_t* col, size_t lo, size_t hi, uint32_t key,
+                std::vector<uint32_t>* out);
+size_t FilterEqScalar(const uint32_t* col, size_t lo, size_t hi, uint32_t key,
+                      std::vector<uint32_t>* out);
+
+/// Appends to *out every position i in [lo, hi) with a[i] == b[i],
+/// ascending (the repeated-position residual, e.g. pattern (X, p, X)).
+/// Returns the number of positions appended.
+size_t FilterPairEq(const uint32_t* a, const uint32_t* b, size_t lo,
+                    size_t hi, std::vector<uint32_t>* out);
+size_t FilterPairEqScalar(const uint32_t* a, const uint32_t* b, size_t lo,
+                          size_t hi, std::vector<uint32_t>* out);
+
+/// Equal-range of `key` within col[lo, hi), which must be sorted
+/// ascending (unsigned): returns exactly what std::equal_range over the
+/// same window returns, as absolute positions. Binary search narrows the
+/// window to kSortedScanWindow, then a branch-free compare-and-count
+/// sweep finishes it. If `scanned` is non-null, the number of elements
+/// the final sweep examined is added to it (observability only).
+std::pair<size_t, size_t> SortedEqualRange(const uint32_t* col, size_t lo,
+                                           size_t hi, uint32_t key,
+                                           size_t* scanned = nullptr);
+std::pair<size_t, size_t> SortedEqualRangeScalar(const uint32_t* col,
+                                                 size_t lo, size_t hi,
+                                                 uint32_t key,
+                                                 size_t* scanned = nullptr);
+
+/// Window below which SortedEqualRange switches from halving to the
+/// linear compare-and-count sweep.
+inline constexpr size_t kSortedScanWindow = 256;
+
+}  // namespace scan
+}  // namespace swdb
+
+#endif  // SWDB_RDF_SCAN_H_

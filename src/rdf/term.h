@@ -34,6 +34,14 @@ class Term {
   constexpr Term() : bits_(0) {}
 
   static constexpr Term Iri(uint32_t id) { return Term(TermKind::kIri, id); }
+  /// Rebuilds a term from its packed bits() representation — the inverse
+  /// of bits(). Used by the columnar indexes, which store raw term bits
+  /// in contiguous uint32_t columns.
+  static constexpr Term FromBits(uint32_t bits) {
+    Term t;
+    t.bits_ = bits;
+    return t;
+  }
   static constexpr Term Blank(uint32_t id) {
     return Term(TermKind::kBlank, id);
   }

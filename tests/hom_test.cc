@@ -382,5 +382,51 @@ TEST_F(HomTest, RepeatedVariableAcrossPositionsOfOneTriple) {
   EXPECT_EQ(xs[0], dict_.Iri("a"));
 }
 
+TEST_F(HomTest, RepeatedSlotFastPathFiltersResiduals) {
+  // Unbound repeated slot (X, p, X): the index range is the whole p run,
+  // and the matcher's pair-equality fast path must keep exactly the
+  // diagonal rows, in range order, with the residual rejects counted as
+  // scanned but never entering TryBind.
+  Graph target;
+  Term p = dict_.Iri("p");
+  for (uint32_t i = 0; i < 40; ++i) {
+    Term a = dict_.Iri("n" + std::to_string(i));
+    Term b = dict_.Iri("n" + std::to_string((i + 1) % 40));
+    target.Insert(Triple(a, p, b));  // off-diagonal
+    if (i % 5 == 0) target.Insert(Triple(a, p, a));  // diagonal
+  }
+  Graph pattern = G(&dict_, "?X p ?X .");
+  MatchStats stats;
+  MatchOptions options;
+  options.stats = &stats;
+  PatternMatcher matcher(pattern, &target, options);
+  std::vector<Term> xs;
+  ASSERT_TRUE(matcher
+                  .Enumerate([&](const TermMap& mu) {
+                    xs.push_back(mu.Apply(dict_.Var("X")));
+                    return true;
+                  })
+                  .ok());
+  ASSERT_EQ(xs.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(xs.begin(), xs.end()));  // pso range order
+  EXPECT_EQ(stats.candidates_scanned, target.size());
+  EXPECT_EQ(stats.binds_attempted, 8u);
+  EXPECT_EQ(stats.solutions_found, 8u);
+
+  // Excluding one diagonal row drops exactly that solution.
+  MatchStats stats2;
+  options.stats = &stats2;
+  options.exclude_triple = Triple(dict_.Iri("n0"), p, dict_.Iri("n0"));
+  PatternMatcher excl(pattern, &target, options);
+  size_t count = 0;
+  ASSERT_TRUE(excl.Enumerate([&](const TermMap&) {
+                    ++count;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(count, 7u);
+  EXPECT_EQ(stats2.binds_attempted, 7u);
+}
+
 }  // namespace
 }  // namespace swdb
