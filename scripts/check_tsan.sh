@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Builds the tree with ThreadSanitizer in a separate build directory and
 # runs the concurrency-sensitive suites: the thread pool + parallel
-# matcher/closure tests, the parallel core/nf engine parity tests, and
-# the Database snapshot stress tests (including racing normalized()
-# readers against the call_once core build).
+# matcher/closure tests, the parallel core/nf engine parity tests, the
+# Database snapshot stress tests (including racing normalized() readers
+# against the call_once core build), and the sharded-dictionary tests
+# (concurrent interning, lock-free Name() readers, fresh-blank races).
 #
 # Usage: scripts/check_tsan.sh [build-dir]
 set -euo pipefail

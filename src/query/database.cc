@@ -6,6 +6,7 @@
 #include "parser/text.h"
 #include "rdf/map.h"
 #include "util/check.h"
+#include "util/lock_rank.h"
 #include "util/thread_pool.h"
 
 namespace swdb {
@@ -28,6 +29,7 @@ Database::Database(Dictionary* dict, EvalOptions options)
 
 bool Database::Insert(const Triple& t) {
   std::lock_guard<std::mutex> lock(write_mu_);
+  LockRankScope rank(kLockRankWrite);
   // Copy first: t may alias data_'s own storage (e.g. a reference
   // obtained from graph()), which the mutation below shifts.
   Triple copy = t;
@@ -40,6 +42,7 @@ bool Database::Insert(const Triple& t) {
 
 void Database::InsertGraph(const Graph& g) {
   std::lock_guard<std::mutex> lock(write_mu_);
+  LockRankScope rank(kLockRankWrite);
   // Collect the actually-new part first: maintenance propagates from the
   // real delta, and an all-duplicates insert must not invalidate
   // anything.
@@ -57,6 +60,7 @@ void Database::InsertGraph(const Graph& g) {
     // slower than one batched refixpoint on next use.
     closure_.reset();
     normalized_.reset();
+    lean_cache_.Clear(0);  // next full build re-seeds the version
     ++stats_.closure_bulk_resets;
   } else {
     MaintainInsert(delta);
@@ -73,6 +77,7 @@ Status Database::InsertText(std::string_view text) {
 
 bool Database::Erase(const Triple& t) {
   std::lock_guard<std::mutex> lock(write_mu_);
+  LockRankScope rank(kLockRankWrite);
   // Copy first: erasing a triple referenced out of graph() is the
   // natural call pattern, and data_.Erase shifts the storage t may
   // alias — the maintenance pass below must see the original value.
@@ -86,6 +91,7 @@ bool Database::Erase(const Triple& t) {
 
 Database::ApplyResult Database::Apply(const MutationBatch& batch) {
   std::lock_guard<std::mutex> lock(write_mu_);
+  LockRankScope rank(kLockRankWrite);
   ++stats_.batches;
   ApplyResult result;
   std::vector<Triple> erased;
@@ -110,26 +116,41 @@ Database::ApplyResult Database::Apply(const MutationBatch& batch) {
 void Database::MaintainInsert(const Graph& delta) {
   if (!closure_.has_value()) return;  // not materialized yet: stay lazy
   ClosureDeltaStats ds;
-  closure_->InsertDelta(delta, &ds);
+  std::vector<Triple> derived;
+  closure_->InsertDelta(delta, &ds, &derived);
   closure_epoch_ = data_.epoch();
   ++stats_.closure_delta_updates;
   stats_.closure_delta_derived += ds.derived;
+  // New closure triples can enable folds of cached lean components:
+  // evict every entry one of them could extend (see LeanCache).
+  if (!derived.empty()) {
+    lean_cache_.OnInsertDelta(derived, closure_->version());
+  }
 }
 
 void Database::MaintainErase(const Graph& deleted) {
   if (!closure_.has_value()) return;
   ClosureDeltaStats ds;
+  const uint64_t version_before = closure_->version();
   closure_->EraseDelta(data_, deleted, &ds);
   closure_epoch_ = data_.epoch();
   ++stats_.closure_erase_updates;
   stats_.closure_overdeleted += ds.overdeleted;
   stats_.closure_rederived += ds.rederived;
+  // Cached refutations survive erases (leanness transfers to subsets),
+  // but lagging snapshots must not consume post-erase entries — bump
+  // the fence stamp.
+  if (closure_->version() != version_before) {
+    lean_cache_.OnEraseDelta(closure_->version());
+  }
 }
 
 DatabaseStats Database::CollectStats() const {
   DatabaseStats out = stats_;
   out.data_graph = data_.Stats();
   if (closure_.has_value()) out.closure_graph = closure_->closure().Stats();
+  out.dictionary = dict_->Stats();
+  out.lean_cache = lean_cache_.stats();
   return out;
 }
 
@@ -137,6 +158,7 @@ const Graph& Database::Closure() {
   if (!closure_.has_value()) {
     closure_.emplace(data_);
     closure_epoch_ = data_.epoch();
+    lean_cache_.Clear(closure_->version());  // fresh closure incarnation
     ++stats_.closure_full_builds;
   } else {
     SWDB_CHECK(closure_epoch_ == data_.epoch(),
@@ -153,7 +175,9 @@ const Graph& Database::Normalized() {
     ++stats_.nf_cache_hits;
     return *normalized_;
   }
-  normalized_ = Core(cl, /*witness=*/nullptr, CorePool(options_));
+  normalized_ = Core(cl, /*witness=*/nullptr, CorePool(options_),
+                     LeanCacheRef{&lean_cache_, closure_->version(),
+                                  lean_cache_.stats().erase_stamp});
   nf_version_ = closure_->version();
   ++stats_.nf_rebuilds;
   return *normalized_;
@@ -214,6 +238,7 @@ Result<Graph> Database::ExecuteQuery(std::string_view query_text) {
 std::shared_ptr<const DatabaseSnapshot> Database::Snapshot() {
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
+    LockRankScope rank(kLockRankSnapshot);
     if (snapshot_ != nullptr) return snapshot_;
   }
   // First call: build and publish under the writer lock. Note this may
@@ -222,13 +247,16 @@ std::shared_ptr<const DatabaseSnapshot> Database::Snapshot() {
   // writer-thread cache methods (Closure/Normalized/...), which do not
   // take the lock.
   std::lock_guard<std::mutex> lock(write_mu_);
+  LockRankScope rank(kLockRankWrite);
   {
     std::lock_guard<std::mutex> snap_lock(snapshot_mu_);
+    LockRankScope snap_rank(kLockRankSnapshot);
     if (snapshot_ != nullptr) return snapshot_;
     snapshots_on_ = true;
   }
   PublishSnapshotLocked();
   std::lock_guard<std::mutex> snap_lock(snapshot_mu_);
+  LockRankScope snap_rank(kLockRankSnapshot);
   return snapshot_;
 }
 
@@ -236,17 +264,40 @@ void Database::PublishSnapshotLocked() {
   // All the expensive work — graph copies, the maintained closure, the
   // index warm-up — happens before snapshot_mu_ is touched; readers
   // only ever wait for the pointer swap below.
+  // Warm the *writer's* graphs first, then copy: a Graph copy shares
+  // spine leaf pointers, so the copy inherits already-built indexes and
+  // its own WarmIndexes below is a no-op. Warming the copy instead
+  // would rebuild the permutations per publication — O(n), not O(k) —
+  // and no leaf would ever be shared with the previous snapshot.
+  data_.WarmIndexes();
+  const Graph& closure_ref = Closure();
+  closure_ref.WarmIndexes();
   auto data = std::make_shared<Graph>(data_);
-  auto cl = std::make_shared<Graph>(Closure());
-  // Readers share these const graphs; force the lazy index build now so
-  // their every access is const-clean.
+  auto cl = std::make_shared<Graph>(closure_ref);
+  // Readers share these const graphs; every access is const-clean.
   data->WarmIndexes();
   cl->WarmIndexes();
-  std::shared_ptr<const DatabaseSnapshot> snap(
-      new DatabaseSnapshot(data_.epoch(), std::move(data), std::move(cl),
-                           &evaluator_, options_, CorePool(options_),
-                           &stats_));
+  const LeanCacheStats lc = lean_cache_.stats();
+  std::shared_ptr<const DatabaseSnapshot> snap(new DatabaseSnapshot(
+      data_.epoch(), std::move(data), std::move(cl), &evaluator_, options_,
+      CorePool(options_), &stats_,
+      LeanCacheRef{&lean_cache_, closure_->version(), lc.erase_stamp}));
   std::lock_guard<std::mutex> snap_lock(snapshot_mu_);
+  LockRankScope snap_rank(kLockRankSnapshot);
+  // COW observability: compare the outgoing snapshot's leaves against
+  // the one it replaces (pointer identity — the delta-proportionality
+  // measure the publication path is built around).
+  if (snapshot_ != nullptr) {
+    SpineSharing s = snap->data().SharedLeaves(snapshot_->data());
+    const SpineSharing c = snap->closure().SharedLeaves(snapshot_->closure());
+    s.shared += c.shared;
+    s.total += c.total;
+    stats_.publish_leaves_shared.fetch_add(s.shared,
+                                           std::memory_order_relaxed);
+    stats_.publish_leaves_copied.fetch_add(s.total - s.shared,
+                                           std::memory_order_relaxed);
+  }
+  stats_.snapshot_publishes.fetch_add(1, std::memory_order_relaxed);
   snapshot_ = std::move(snap);
 }
 
@@ -256,7 +307,8 @@ void Database::PublishSnapshotLocked() {
 const Graph& DatabaseSnapshot::normalized() const {
   if (options_.use_closure_only) return *closure_;
   std::call_once(normalized_once_, [this] {
-    normalized_.emplace(Core(*closure_, /*witness=*/nullptr, pool_));
+    normalized_.emplace(
+        Core(*closure_, /*witness=*/nullptr, pool_, lean_cache_));
     normalized_->WarmIndexes();
     ++stats_->snapshot_nf_builds;
   });

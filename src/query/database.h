@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "inference/closure.h"
+#include "normal/core.h"
 #include "query/answer.h"
 #include "query/query.h"
 #include "rdf/graph.h"
@@ -49,12 +50,27 @@ struct DatabaseStats {
   std::atomic<uint64_t> membership_builds{0};   ///< membership (re)builds
   std::atomic<uint64_t> membership_queries{0};  ///< EntailsTriple calls
 
+  /// Snapshot publications and their COW cost: per publish, how many
+  /// spine leaves of the published data+closure graphs were shared with
+  /// the previously published snapshot vs newly materialized. A
+  /// publication after a k-triple delta copies O(k) leaves — these two
+  /// counters are the direct measure.
+  std::atomic<uint64_t> snapshot_publishes{0};
+  std::atomic<uint64_t> publish_leaves_shared{0};
+  std::atomic<uint64_t> publish_leaves_copied{0};
+
   /// Storage/scan counters of the data graph and the maintained closure
   /// graph (empty when no closure is cached). Plain snapshots, filled by
   /// Database::CollectStats — the live stats() reference leaves them
   /// zeroed.
   GraphStats data_graph;
   GraphStats closure_graph;
+  /// Interning observability (shard load, per-kind counts); plain
+  /// snapshot filled by CollectStats.
+  DictionaryStats dictionary;
+  /// Cross-epoch proven-lean cache counters; plain snapshot filled by
+  /// CollectStats.
+  LeanCacheStats lean_cache;
 
   DatabaseStats() = default;
   DatabaseStats(const DatabaseStats& o) { *this = o; }
@@ -82,8 +98,16 @@ struct DatabaseStats {
         o.snapshot_nf_builds.load(std::memory_order_relaxed);
     membership_builds = o.membership_builds.load(std::memory_order_relaxed);
     membership_queries = o.membership_queries.load(std::memory_order_relaxed);
+    snapshot_publishes =
+        o.snapshot_publishes.load(std::memory_order_relaxed);
+    publish_leaves_shared =
+        o.publish_leaves_shared.load(std::memory_order_relaxed);
+    publish_leaves_copied =
+        o.publish_leaves_copied.load(std::memory_order_relaxed);
     data_graph = o.data_graph;
     closure_graph = o.closure_graph;
+    dictionary = o.dictionary;
+    lean_cache = o.lean_cache;
     return *this;
   }
 };
@@ -154,14 +178,16 @@ class DatabaseSnapshot {
   DatabaseSnapshot(uint64_t epoch, std::shared_ptr<const Graph> data,
                    std::shared_ptr<const Graph> closure,
                    QueryEvaluator* evaluator, EvalOptions options,
-                   ThreadPool* pool, DatabaseStats* stats)
+                   ThreadPool* pool, DatabaseStats* stats,
+                   LeanCacheRef lean_cache)
       : epoch_(epoch),
         data_(std::move(data)),
         closure_(std::move(closure)),
         evaluator_(evaluator),
         options_(options),
         pool_(pool),
-        stats_(stats) {}
+        stats_(stats),
+        lean_cache_(lean_cache) {}
 
   uint64_t epoch_;
   std::shared_ptr<const Graph> data_;
@@ -170,6 +196,11 @@ class DatabaseSnapshot {
   EvalOptions options_;
   ThreadPool* pool_;       // runs the lazy core build; owned elsewhere
   DatabaseStats* stats_;   // the owning Database's counters
+  // The owning Database's cross-epoch lean cache, with this snapshot's
+  // closure version + erase stamp captured at publication. The lazy
+  // normalized() build consults it and offers its refutations back
+  // (the cache's write rule drops them if the writer has moved on).
+  LeanCacheRef lean_cache_;
 
   mutable std::once_flag normalized_once_;
   mutable std::optional<Graph> normalized_;
@@ -293,6 +324,11 @@ class Database {
   uint64_t nf_version_ = 0;
   std::optional<ClosureMembership> membership_;
 
+  // Cross-epoch proven-lean component cache (see LeanCache): fed and
+  // consumed by the writer's Normalized() and by every snapshot's lazy
+  // normalized() build; invalidated here on closure maintenance.
+  LeanCache lean_cache_;
+
   // Concurrent read path: mutators hold write_mu_ end to end and, once
   // snapshots_on_, republish before releasing it. snapshot_ is guarded
   // by the leaf mutex snapshot_mu_, held only for the pointer copy /
@@ -300,7 +336,8 @@ class Database {
   // instead of std::atomic<std::shared_ptr>: libstdc++ 12's _Sp_atomic
   // unlocks its embedded spinlock with a relaxed RMW, which leaves the
   // _M_ptr accesses formally racy — ThreadSanitizer reports it.)
-  // Lock order: write_mu_ before snapshot_mu_.
+  // Lock order: write_mu_ before snapshot_mu_ — asserted in debug
+  // builds via LockRankScope (util/lock_rank.h) at every acquisition.
   std::mutex write_mu_;
   bool snapshots_on_ = false;  // guarded by write_mu_
   mutable std::mutex snapshot_mu_;

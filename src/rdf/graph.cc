@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <array>
-#include <numeric>
 
 #include "rdf/scan.h"
 
@@ -25,207 +24,257 @@ const char* IndexOrderName(IndexOrder order) {
 }
 
 int ColumnOfPosition(IndexOrder order, int pos) {
-  // Key sequences: pso = (p,s,o), pos = (p,o,s), osp = (o,s,p).
-  static constexpr int kMap[3][3] = {
-      /* kPso: s,p,o -> */ {1, 0, 2},
-      /* kPos: s,p,o -> */ {2, 0, 1},
-      /* kOsp: s,p,o -> */ {1, 2, 0},
+  // Key sequences: spo = (s,p,o), pso = (p,s,o), pos = (p,o,s),
+  // osp = (o,s,p); kFullScan ranges are served by the primary spine.
+  static constexpr int kMap[kNumIndexOrders][3] = {
+      /* kSpo:      s,p,o -> */ {0, 1, 2},
+      /* kPso:      s,p,o -> */ {1, 0, 2},
+      /* kPos:      s,p,o -> */ {2, 0, 1},
+      /* kOsp:      s,p,o -> */ {1, 2, 0},
+      /* kFullScan: s,p,o -> */ {0, 1, 2},
   };
-  return kMap[static_cast<size_t>(order) - 1][pos];
+  return kMap[static_cast<size_t>(order)][pos];
 }
 
 namespace {
 
 // The raw term bits of a triple permuted into each order's key
 // sequence. Term::operator< compares packed bits, so lexicographic
-// order over these uint32 keys is exactly the old struct comparators'
-// order — the columnar refactor cannot change enumeration order.
-using Key3 = std::array<uint32_t, 3>;
-
-inline Key3 KeyPso(const Triple& t) {
+// order over these uint32 keys is exactly the Triple comparators'
+// order — the spine refactor cannot change enumeration order.
+inline SpineKey KeySpo(const Triple& t) {
+  return {t.s.bits(), t.p.bits(), t.o.bits()};
+}
+inline SpineKey KeyPso(const Triple& t) {
   return {t.p.bits(), t.s.bits(), t.o.bits()};
 }
-inline Key3 KeyPos(const Triple& t) {
+inline SpineKey KeyPos(const Triple& t) {
   return {t.p.bits(), t.o.bits(), t.s.bits()};
 }
-inline Key3 KeyOsp(const Triple& t) {
+inline SpineKey KeyOsp(const Triple& t) {
   return {t.o.bits(), t.s.bits(), t.p.bits()};
 }
 
-// Lexicographic lower bound of `key` in the columns of `ix` — the patch
-// paths' slot search. Compares contiguous uint32 columns only; no
-// gather through the primary triple vector.
-size_t ColumnarLowerBound(const IndexColumns& ix, const Key3& key) {
-  size_t lo = 0, hi = ix.size();
-  while (lo < hi) {
-    const size_t mid = lo + (hi - lo) / 2;
-    bool less;
-    if (ix.k0[mid] != key[0]) {
-      less = ix.k0[mid] < key[0];
-    } else if (ix.k1[mid] != key[1]) {
-      less = ix.k1[mid] < key[1];
-    } else {
-      less = ix.k2[mid] < key[2];
-    }
-    if (less) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo;
-}
-
-template <typename Col>
-void InsertAtSlot(Col& col, size_t slot, uint32_t v) {
-  col.insert(col.begin() + static_cast<std::ptrdiff_t>(slot), v);
-}
-template <typename Col>
-void EraseAtSlot(Col& col, size_t slot) {
-  col.erase(col.begin() + static_cast<std::ptrdiff_t>(slot));
+inline Triple TripleOfSpoKey(const SpineKey& k) {
+  return Triple(Term::FromBits(k[0]), Term::FromBits(k[1]),
+                Term::FromBits(k[2]));
 }
 
 }  // namespace
 
-Graph::Graph(std::initializer_list<Triple> triples)
-    : triples_(triples) {
-  Normalize();
+// --- MatchRange ------------------------------------------------------
+
+MatchRange::const_iterator::const_iterator(const Spine* spine,
+                                           IndexOrder order, size_t idx,
+                                           size_t limit)
+    : spine_(spine), order_(order), idx_(idx), limit_(limit) {
+  leaf_base_ = idx;
+  leaf_end_ = idx;
+  if (idx_ < limit_) AdvanceLeaf();
 }
 
-Graph::Graph(std::vector<Triple> triples) : triples_(std::move(triples)) {
-  Normalize();
+void MatchRange::const_iterator::AdvanceLeaf() {
+  if (idx_ >= limit_) return;
+  const size_t li = spine_->LeafIndexOf(idx_);
+  const SpineLeaf& leaf = spine_->leaf(li);
+  leaf_base_ = spine_->leaf_start(li);
+  leaf_end_ = leaf_base_ + leaf.size();
+  col_s_ = leaf.column(ColumnOfPosition(order_, 0)).data();
+  col_p_ = leaf.column(ColumnOfPosition(order_, 1)).data();
+  col_o_ = leaf.column(ColumnOfPosition(order_, 2)).data();
 }
 
-void Graph::Normalize() {
-  std::sort(triples_.begin(), triples_.end());
-  triples_.erase(std::unique(triples_.begin(), triples_.end()),
-                 triples_.end());
+const Triple& MatchRange::TripleAt(uint32_t slot) const {
+  const SpineKey k = spine_->At(slot);
+  scratch_.s = Term::FromBits(k[ColumnOfPosition(order_, 0)]);
+  scratch_.p = Term::FromBits(k[ColumnOfPosition(order_, 1)]);
+  scratch_.o = Term::FromBits(k[ColumnOfPosition(order_, 2)]);
+  return scratch_;
+}
+
+size_t MatchRange::FilterBound(int pos, Term value,
+                               std::vector<uint32_t>* out) const {
+  const size_t before = out->size();
+  if (empty()) return 0;
+  const int c = ColumnOfPosition(order_, pos);
+  size_t li = spine_->LeafIndexOf(first_);
+  for (size_t slot = first_; slot < last_; ++li) {
+    const SpineLeaf& leaf = spine_->leaf(li);
+    const size_t base = spine_->leaf_start(li);
+    const size_t lo = slot - base;
+    const size_t hi = std::min(last_ - base, leaf.size());
+    const size_t emitted = out->size();
+    scan::FilterEq(leaf.column(c).data(), lo, hi, value.bits(), out);
+    if (base != 0) {
+      // The kernel emitted leaf-local slots; lift to global slot space.
+      for (size_t i = emitted; i < out->size(); ++i) {
+        (*out)[i] += static_cast<uint32_t>(base);
+      }
+    }
+    slot = base + hi;
+  }
+  return out->size() - before;
+}
+
+size_t MatchRange::FilterPairEqual(int pos_a, int pos_b,
+                                   std::vector<uint32_t>* out) const {
+  const size_t before = out->size();
+  if (empty()) return 0;
+  const int ca = ColumnOfPosition(order_, pos_a);
+  const int cb = ColumnOfPosition(order_, pos_b);
+  size_t li = spine_->LeafIndexOf(first_);
+  for (size_t slot = first_; slot < last_; ++li) {
+    const SpineLeaf& leaf = spine_->leaf(li);
+    const size_t base = spine_->leaf_start(li);
+    const size_t lo = slot - base;
+    const size_t hi = std::min(last_ - base, leaf.size());
+    const size_t emitted = out->size();
+    scan::FilterPairEq(leaf.column(ca).data(), leaf.column(cb).data(), lo, hi,
+                       out);
+    if (base != 0) {
+      for (size_t i = emitted; i < out->size(); ++i) {
+        (*out)[i] += static_cast<uint32_t>(base);
+      }
+    }
+    slot = base + hi;
+  }
+  return out->size() - before;
+}
+
+// --- Graph -----------------------------------------------------------
+
+Graph::Graph(std::initializer_list<Triple> triples) {
+  BuildFrom(std::vector<Triple>(triples));
+}
+
+Graph::Graph(std::vector<Triple> triples) { BuildFrom(std::move(triples)); }
+
+void Graph::BuildFrom(std::vector<Triple> triples) {
+  std::sort(triples.begin(), triples.end());
+  triples.erase(std::unique(triples.begin(), triples.end()), triples.end());
+  std::vector<SpineKey> keys;
+  keys.reserve(triples.size());
+  for (const Triple& t : triples) keys.push_back(KeySpo(t));
+  spo_.BulkBuild(keys);
   indexes_valid_ = false;
 }
 
 bool Graph::Insert(const Triple& t) {
-  auto it = std::lower_bound(triples_.begin(), triples_.end(), t);
-  if (it != triples_.end() && *it == t) return false;
-  const uint32_t pos = static_cast<uint32_t>(it - triples_.begin());
-  triples_.insert(it, t);
+  if (!spo_.Insert(KeySpo(t))) return false;
   ++epoch_;
-  if (indexes_valid_) {
-    if (unread_patches_.value() >= PatchCrossover(triples_.size())) {
-      DropIndexes();
-    } else {
-      PatchIndexesInsert(pos);
-    }
-  }
+  PatchIndexesInsert(t);
   return true;
 }
 
 void Graph::InsertAll(const Graph& other) {
   if (other.empty()) return;
-  std::vector<Triple> merged;
-  merged.reserve(triples_.size() + other.triples_.size());
-  std::set_union(triples_.begin(), triples_.end(), other.triples_.begin(),
-                 other.triples_.end(), std::back_inserter(merged));
-  if (merged.size() == triples_.size()) return;  // other ⊆ *this: no-op
-  triples_ = std::move(merged);
+  // A single-key spine patch costs O(leaf + leaf count); a bulk rebuild
+  // costs O(n) but loses all leaf sharing with prior copies. Patch per
+  // triple while the delta is small relative to the leaf count.
+  const size_t threshold =
+      std::max<size_t>(64, spo_.size() / Spine::kLeafMax);
+  if (other.size() <= threshold) {
+    uint64_t changed = 0;
+    for (const Triple& t : other) {
+      if (spo_.Insert(KeySpo(t))) {
+        ++changed;
+        PatchIndexesInsert(t);
+      }
+    }
+    // Exactly one epoch bump per changing call, like the bulk path.
+    if (changed != 0) ++epoch_;
+    return;
+  }
+  std::vector<SpineKey> ours = spo_.Keys();
+  std::vector<SpineKey> theirs = other.spo_.Keys();
+  std::vector<SpineKey> merged;
+  merged.reserve(ours.size() + theirs.size());
+  std::set_union(ours.begin(), ours.end(), theirs.begin(), theirs.end(),
+                 std::back_inserter(merged));
+  if (merged.size() == spo_.size()) return;  // other ⊆ *this: no-op
+  spo_.BulkBuild(merged);
   ++epoch_;
   if (indexes_valid_) DropIndexes();  // bulk path: rebuild on next lookup
 }
 
 bool Graph::Erase(const Triple& t) {
-  auto it = std::lower_bound(triples_.begin(), triples_.end(), t);
-  if (it == triples_.end() || *it != t) return false;
-  const uint32_t pos = static_cast<uint32_t>(it - triples_.begin());
-  if (indexes_valid_) {
-    if (unread_patches_.value() >= PatchCrossover(triples_.size())) {
-      DropIndexes();
-    } else {
-      PatchIndexesErase(pos);  // before triples_ shifts
-    }
-  }
-  triples_.erase(it);
+  if (!spo_.Erase(KeySpo(t))) return false;
   ++epoch_;
+  PatchIndexesErase(t);
   return true;
-}
-
-uint64_t Graph::PatchCrossover(size_t n) {
-  // A patch shifts/renumbers O(n) contiguous column entries; a rebuild
-  // pays a comparison sort over the same rows — ~log2(n) passes with a
-  // notably larger per-element constant. Measured on the E17 host the
-  // rebuild costs on the order of tens of patches (see EXPERIMENTS.md),
-  // so 3·log2(n) tracks the ratio across 10k..4M rows while keeping the
-  // floor high enough that small graphs never thrash.
-  uint64_t bits = 0;
-  while ((n >> bits) != 0) ++bits;  // ≈ log2(n) + 1
-  return std::max<uint64_t>(16, 3 * bits);
 }
 
 void Graph::DropIndexes() {
   indexes_valid_ = false;
-  pso_.clear();
-  pos_.clear();
-  osp_.clear();
-  unread_patches_.Reset();
+  pso_.Clear();
+  pos_.Clear();
+  osp_.Clear();
   index_drops_.Add(1);
 }
 
-void Graph::PatchIndexesInsert(uint32_t pos) {
-  // triples_[pos] is already in place; every pre-existing primary id at
-  // or above pos shifted up by one. Renumber, then sorted-insert the new
-  // entry's key bits and row id into each permutation's columns.
-  const Triple& t = triples_[pos];
-  auto patch = [&](IndexColumns& ix, const Key3& key) {
-    for (uint32_t& r : ix.row) {
-      if (r >= pos) ++r;
-    }
-    const size_t slot = ColumnarLowerBound(ix, key);
-    InsertAtSlot(ix.k0, slot, key[0]);
-    InsertAtSlot(ix.k1, slot, key[1]);
-    InsertAtSlot(ix.k2, slot, key[2]);
-    InsertAtSlot(ix.row, slot, pos);
-  };
-  patch(pso_, KeyPso(t));
-  patch(pos_, KeyPos(t));
-  patch(osp_, KeyOsp(t));
-  unread_patches_.Add(1);
+void Graph::PatchIndexesInsert(const Triple& t) {
+  if (!indexes_valid_) return;
+  pso_.Insert(KeyPso(t));
+  pos_.Insert(KeyPos(t));
+  osp_.Insert(KeyOsp(t));
   index_patches_.Add(1);
 }
 
-void Graph::PatchIndexesErase(uint32_t pos) {
-  // Called while triples_[pos] is still present: locate the slot by
-  // binary search on the key columns, remove it, renumber the tail.
-  const Triple& t = triples_[pos];
-  auto patch = [&](IndexColumns& ix, const Key3& key) {
-    // The orders are total over distinct triples, so the lower bound
-    // lands exactly on the slot holding this entry.
-    const size_t slot = ColumnarLowerBound(ix, key);
-    EraseAtSlot(ix.k0, slot);
-    EraseAtSlot(ix.k1, slot);
-    EraseAtSlot(ix.k2, slot);
-    EraseAtSlot(ix.row, slot);
-    for (uint32_t& r : ix.row) {
-      if (r > pos) --r;
-    }
-  };
-  patch(pso_, KeyPso(t));
-  patch(pos_, KeyPos(t));
-  patch(osp_, KeyOsp(t));
-  unread_patches_.Add(1);
+void Graph::PatchIndexesErase(const Triple& t) {
+  if (!indexes_valid_) return;
+  pso_.Erase(KeyPso(t));
+  pos_.Erase(KeyPos(t));
+  osp_.Erase(KeyOsp(t));
   index_patches_.Add(1);
 }
 
-bool Graph::Contains(const Triple& t) const {
-  return std::binary_search(triples_.begin(), triples_.end(), t);
+bool Graph::Contains(const Triple& t) const { return spo_.Contains(KeySpo(t)); }
+
+std::vector<Triple> Graph::triples() const {
+  std::vector<Triple> out;
+  out.reserve(spo_.size());
+  for (size_t li = 0; li < spo_.leaf_count(); ++li) {
+    const SpineLeaf& leaf = spo_.leaf(li);
+    for (size_t i = 0; i < leaf.size(); ++i) {
+      out.emplace_back(Term::FromBits(leaf.k0[i]), Term::FromBits(leaf.k1[i]),
+                       Term::FromBits(leaf.k2[i]));
+    }
+  }
+  return out;
+}
+
+bool Graph::operator==(const Graph& other) const {
+  return spo_.EqualContents(other.spo_);
 }
 
 bool Graph::IsSubgraphOf(const Graph& other) const {
-  return std::includes(other.triples_.begin(), other.triples_.end(),
-                       triples_.begin(), triples_.end());
+  if (size() > other.size()) return false;
+  // Merge-walk of two sorted streams (std::includes over input
+  // iterators whose operator* reuses scratch storage).
+  const_iterator a = begin();
+  const const_iterator ae = end();
+  const_iterator b = other.begin();
+  const const_iterator be = other.end();
+  while (a != ae) {
+    if (b == be) return false;
+    const Triple ta = *a;
+    const Triple tb = *b;
+    if (tb < ta) {
+      ++b;
+    } else if (ta < tb) {
+      return false;
+    } else {
+      ++a;
+      ++b;
+    }
+  }
+  return true;
 }
 
 std::vector<Term> Graph::Universe() const {
   std::vector<Term> terms;
-  terms.reserve(triples_.size() * 3);
-  for (const Triple& t : triples_) {
+  terms.reserve(spo_.size() * 3);
+  for (const Triple& t : *this) {
     terms.push_back(t.s);
     terms.push_back(t.p);
     terms.push_back(t.o);
@@ -260,14 +309,14 @@ std::vector<Term> Graph::Variables() const {
 }
 
 bool Graph::IsGround() const {
-  for (const Triple& t : triples_) {
+  for (const Triple& t : *this) {
     if (!t.IsGround()) return false;
   }
   return true;
 }
 
 bool Graph::IsSimple() const {
-  for (const Triple& t : triples_) {
+  for (const Triple& t : *this) {
     if (vocab::IsRdfsVocab(t.s) || vocab::IsRdfsVocab(t.p) ||
         vocab::IsRdfsVocab(t.o)) {
       return false;
@@ -277,7 +326,7 @@ bool Graph::IsSimple() const {
 }
 
 bool Graph::IsWellFormedData() const {
-  for (const Triple& t : triples_) {
+  for (const Triple& t : *this) {
     if (!t.IsWellFormedData()) return false;
   }
   return true;
@@ -290,36 +339,19 @@ Graph Graph::Union(const Graph& g1, const Graph& g2) {
 }
 
 void Graph::EnsureIndexes() const {
-  // An index read consumes any accumulated patches: the crossover
-  // counter restarts here, so only *unread* patch bursts trigger drops.
-  unread_patches_.Reset();
   if (indexes_valid_) return;
-  const size_t n = triples_.size();
-  // Sort (key, row) entries together, then split into columns. The
-  // 16-byte entries sort with better locality than id-vector sorts that
-  // gather 12-byte triples per comparison.
-  struct Entry {
-    Key3 key;
-    uint32_t row;
-  };
-  std::vector<Entry> entries(n);
-  auto build = [&](IndexColumns& ix, Key3 (*key_of)(const Triple&)) {
-    for (uint32_t i = 0; i < n; ++i) {
-      entries[i].key = key_of(triples_[i]);
-      entries[i].row = i;
+  const size_t n = spo_.size();
+  std::vector<SpineKey> keys(n);
+  auto build = [&](Spine& ix, SpineKey (*key_of)(const Triple&)) {
+    size_t i = 0;
+    for (size_t li = 0; li < spo_.leaf_count(); ++li) {
+      const SpineLeaf& leaf = spo_.leaf(li);
+      for (size_t r = 0; r < leaf.size(); ++r) {
+        keys[i++] = key_of(TripleOfSpoKey(leaf.at(r)));
+      }
     }
-    std::sort(entries.begin(), entries.end(),
-              [](const Entry& a, const Entry& b) { return a.key < b.key; });
-    ix.k0.resize(n);
-    ix.k1.resize(n);
-    ix.k2.resize(n);
-    ix.row.resize(n);
-    for (size_t i = 0; i < n; ++i) {
-      ix.k0[i] = entries[i].key[0];
-      ix.k1[i] = entries[i].key[1];
-      ix.k2[i] = entries[i].key[2];
-      ix.row[i] = entries[i].row;
-    }
+    std::sort(keys.begin(), keys.end());
+    ix.BulkBuild(keys);
   };
   build(pso_, KeyPso);
   build(pos_, KeyPos);
@@ -337,161 +369,79 @@ GraphStats Graph::Stats() const {
   s.rows_scanned = rows_scanned_.value();
   s.rows_yielded = rows_yielded_.value();
   s.indexes_built = indexes_valid_;
-  s.bytes_primary = triples_.capacity() * sizeof(Triple);
+  s.bytes_primary = spo_.bytes();
   s.bytes_pso = pso_.bytes();
   s.bytes_pos = pos_.bytes();
   s.bytes_osp = osp_.bytes();
+  s.leaves_primary = spo_.leaf_count();
+  s.leaves_index =
+      pso_.leaf_count() + pos_.leaf_count() + osp_.leaf_count();
   return s;
 }
 
-size_t MatchRange::FilterBound(int pos, Term value,
-                               std::vector<uint32_t>* out) const {
-  const size_t before = out->size();
-  if (cols_ != nullptr) {
-    const std::vector<uint32_t>& col =
-        cols_->key_column(ColumnOfPosition(order_, pos));
-    scan::FilterEq(col.data(), first_, last_, value.bits(), out);
-    // The kernel emitted permutation slots; map to primary rows in
-    // place (index order is preserved).
-    for (size_t i = before; i < out->size(); ++i) {
-      (*out)[i] = cols_->row[(*out)[i]];
-    }
-  } else {
-    for (const Triple* t = direct_first_; t != direct_last_; ++t) {
-      const Term v = pos == 0 ? t->s : pos == 1 ? t->p : t->o;
-      if (v == value) out->push_back(static_cast<uint32_t>(t - base_));
-    }
+SpineSharing Graph::SharedLeaves(const Graph& other) const {
+  SpineSharing s;
+  s.shared += spo_.CountSharedLeavesWith(other.spo_);
+  s.total += spo_.leaf_count();
+  if (indexes_valid_ && other.indexes_valid_) {
+    s.shared += pso_.CountSharedLeavesWith(other.pso_);
+    s.shared += pos_.CountSharedLeavesWith(other.pos_);
+    s.shared += osp_.CountSharedLeavesWith(other.osp_);
+    s.total += pso_.leaf_count() + pos_.leaf_count() + osp_.leaf_count();
   }
-  return out->size() - before;
+  return s;
 }
-
-size_t MatchRange::FilterPairEqual(int pos_a, int pos_b,
-                                   std::vector<uint32_t>* out) const {
-  const size_t before = out->size();
-  if (cols_ != nullptr) {
-    const std::vector<uint32_t>& a =
-        cols_->key_column(ColumnOfPosition(order_, pos_a));
-    const std::vector<uint32_t>& b =
-        cols_->key_column(ColumnOfPosition(order_, pos_b));
-    scan::FilterPairEq(a.data(), b.data(), first_, last_, out);
-    for (size_t i = before; i < out->size(); ++i) {
-      (*out)[i] = cols_->row[(*out)[i]];
-    }
-  } else {
-    auto at = [](const Triple& t, int p) {
-      return p == 0 ? t.s : p == 1 ? t.p : t.o;
-    };
-    for (const Triple* t = direct_first_; t != direct_last_; ++t) {
-      if (at(*t, pos_a) == at(*t, pos_b)) {
-        out->push_back(static_cast<uint32_t>(t - base_));
-      }
-    }
-  }
-  return out->size() - before;
-}
-
-namespace {
-
-// Projects a triple onto the key positions of each index order. A key is
-// the (up to two) leading positions of the order that are bound; unbound
-// trailing positions compare as "match everything" via prefix keys.
-struct Key2 {
-  Term first;
-  bool has_second;
-  Term second;
-};
-
-// Lexicographic comparison of an order's leading positions against a
-// one-or-two-term prefix key; usable from std::equal_range (called with
-// (elem, key) and (key, elem)).
-template <typename Project>
-struct PrefixCmp {
-  Project project;  // Triple -> std::pair<Term, Term> in index order
-  Key2 key;
-
-  bool operator()(const Triple& t, int) const {  // elem < key
-    auto [a, b] = project(t);
-    if (a != key.first) return a < key.first;
-    return key.has_second && b < key.second;
-  }
-  bool operator()(int, const Triple& t) const {  // key < elem
-    auto [a, b] = project(t);
-    if (a != key.first) return key.first < a;
-    return key.has_second && key.second < b;
-  }
-};
-
-}  // namespace
 
 MatchRange Graph::Matches(std::optional<Term> s, std::optional<Term> p,
                           std::optional<Term> o) const {
-  const Triple* base = triples_.data();
-  const Triple* last = base + triples_.size();
   matches_calls_.Add(1);
 
-  // One- or two-key equal range over a permutation's sorted columns:
-  // k0 == key0, then (optionally) k1 == key1 within the k0 run. Both
-  // narrowings are hybrid binary-search + vectorized window sweeps
-  // (scan::SortedEqualRange), touching only contiguous uint32 columns.
-  auto col_range = [&](const IndexColumns& ix, uint32_t key0,
-                       const uint32_t* key1, IndexOrder order) {
+  // One- or two-key equal range over a spine's sorted columns: k0 ==
+  // key0, then (optionally) k1 == key1 within the k0 run. The probes
+  // are global-slot binary searches resolving leaves on the fly.
+  auto range_of = [&](const Spine& ix, uint32_t key0, const uint32_t* key1,
+                      IndexOrder order) {
     size_t scanned = 0;
-    auto [lo, hi] =
-        scan::SortedEqualRange(ix.k0.data(), 0, ix.size(), key0, &scanned);
-    if (key1 != nullptr && lo < hi) {
-      std::tie(lo, hi) =
-          scan::SortedEqualRange(ix.k1.data(), lo, hi, *key1, &scanned);
-    }
+    auto [lo, hi] = ix.EqualRange(key0, key1, &scanned);
     rows_scanned_.Add(scanned);
     rows_yielded_.Add(hi - lo);
-    return MatchRange::Columnar(base, &ix, lo, hi, order);
+    return MatchRange::Over(&ix, lo, hi, order);
   };
 
   if (s) {
     if (p && o) {
       // Fully bound: a zero- or one-element run in the primary order.
-      Triple key(*s, *p, *o);
-      auto [lo, hi] = std::equal_range(triples_.begin(), triples_.end(), key);
-      rows_yielded_.Add(static_cast<size_t>(hi - lo));
-      return MatchRange::Direct(base, base + (lo - triples_.begin()),
-                                base + (hi - triples_.begin()),
-                                IndexOrder::kSpo);
+      const SpineKey key = KeySpo(Triple(*s, *p, *o));
+      const size_t lo = spo_.LowerBound(key);
+      const size_t hi =
+          lo + ((lo < spo_.size() && spo_.At(lo) == key) ? 1 : 0);
+      rows_yielded_.Add(hi - lo);
+      return MatchRange::Over(&spo_, lo, hi, IndexOrder::kSpo);
     }
     if (o) {
       // (s, *, o): contiguous under (o,s,p).
       EnsureIndexes();
       const uint32_t key1 = s->bits();
-      return col_range(osp_, o->bits(), &key1, IndexOrder::kOsp);
+      return range_of(osp_, o->bits(), &key1, IndexOrder::kOsp);
     }
     // (s) or (s, p): prefix runs of the primary (s,p,o) order.
-    Key2 key{*s, p.has_value(), p.value_or(Term())};
-    PrefixCmp<std::pair<Term, Term> (*)(const Triple&)> below{
-        [](const Triple& t) { return std::pair<Term, Term>(t.s, t.p); }, key};
-    auto lo = std::lower_bound(
-        triples_.begin(), triples_.end(), 0,
-        [&](const Triple& t, int k) { return below(t, k); });
-    auto hi = std::upper_bound(
-        lo, triples_.end(), 0,
-        [&](int k, const Triple& t) { return below(k, t); });
-    rows_yielded_.Add(static_cast<size_t>(hi - lo));
-    return MatchRange::Direct(base, base + (lo - triples_.begin()),
-                              base + (hi - triples_.begin()),
-                              IndexOrder::kSpo);
+    const uint32_t key1 = p ? p->bits() : 0;
+    return range_of(spo_, s->bits(), p ? &key1 : nullptr, IndexOrder::kSpo);
   }
   if (p) {
     EnsureIndexes();
     if (o) {
       const uint32_t key1 = o->bits();
-      return col_range(pos_, p->bits(), &key1, IndexOrder::kPos);
+      return range_of(pos_, p->bits(), &key1, IndexOrder::kPos);
     }
-    return col_range(pso_, p->bits(), nullptr, IndexOrder::kPso);
+    return range_of(pso_, p->bits(), nullptr, IndexOrder::kPso);
   }
   if (o) {
     EnsureIndexes();
-    return col_range(osp_, o->bits(), nullptr, IndexOrder::kOsp);
+    return range_of(osp_, o->bits(), nullptr, IndexOrder::kOsp);
   }
-  rows_yielded_.Add(triples_.size());
-  return MatchRange::Direct(base, base, last, IndexOrder::kFullScan);
+  rows_yielded_.Add(spo_.size());
+  return MatchRange::Over(&spo_, 0, spo_.size(), IndexOrder::kFullScan);
 }
 
 }  // namespace swdb

@@ -6,25 +6,24 @@
 #include <initializer_list>
 #include <optional>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "rdf/spine.h"
 #include "rdf/triple.h"
 
 namespace swdb {
 
 /// The physical order that served a triple-pattern lookup. The graph
-/// keeps the primary (s,p,o) vector plus three lazily built permutations
-/// so that *every* combination of bound positions resolves to one
-/// contiguous index range (no post-filtering):
+/// keeps the primary (s,p,o) spine plus three lazily built permutation
+/// spines so that *every* combination of bound positions resolves to
+/// one contiguous slot range (no post-filtering):
 ///
 ///   bound positions          order        range key
 ///   s / s,p / s,p,o          kSpo         prefix of (s,p,o)
 ///   p                        kPso         prefix of (p,s,o)
 ///   p,o                      kPos         prefix of (p,o,s)
 ///   o / o,s                  kOsp         prefix of (o,s,p)
-///   (none)                   kFullScan    all triples
+///   (none)                   kFullScan    all triples (primary order)
 enum class IndexOrder : uint8_t {
   kSpo = 0,
   kPso = 1,
@@ -38,37 +37,10 @@ inline constexpr size_t kNumIndexOrders = 5;
 const char* IndexOrderName(IndexOrder order);
 
 /// Column index (0..2) holding triple position `pos` (0=s, 1=p, 2=o) of
-/// a permutation order. E.g. for kPso the key sequence is (p,s,o): the
-/// subject lives in column 1, the predicate in column 0, the object in
-/// column 2. Only valid for the three permutation orders.
+/// an order's key sequence. E.g. for kPso the key sequence is (p,s,o):
+/// the subject lives in column 1, the predicate in column 0, the object
+/// in column 2. kSpo and kFullScan are the identity.
 int ColumnOfPosition(IndexOrder order, int pos);
-
-/// Structure-of-arrays columns backing one permutation index. Entry i of
-/// the permutation is the triple triples_[row[i]]; (k0[i], k1[i], k2[i])
-/// are its raw term bits (Term::bits) permuted into the order's key
-/// sequence, and the columns are sorted lexicographically by (k0,k1,k2).
-/// A bound-position lookup or residual filter is therefore a contiguous
-/// sweep over ONE uint32_t column — the layout the vectorized kernels in
-/// scan.h operate on — instead of a strided gather through 12-byte
-/// Triple structs.
-struct IndexColumns {
-  std::vector<uint32_t> k0, k1, k2, row;
-
-  size_t size() const { return row.size(); }
-  size_t bytes() const {
-    return (k0.capacity() + k1.capacity() + k2.capacity() + row.capacity()) *
-           sizeof(uint32_t);
-  }
-  const std::vector<uint32_t>& key_column(int k) const {
-    return k == 0 ? k0 : k == 1 ? k1 : k2;
-  }
-  void clear() {
-    k0.clear();
-    k1.clear();
-    k2.clear();
-    row.clear();
-  }
-};
 
 /// A cumulative counter that tolerates concurrent readers: relaxed
 /// atomic load/store (no RMW, so hot-path increments stay cheap), which
@@ -96,31 +68,42 @@ class RelaxedCounter {
 };
 
 /// Storage and scan observability for one Graph, snapshotted by
-/// Graph::Stats. Counters are cumulative since construction; byte sizes
-/// reflect the current footprint.
+/// Graph::Stats. Counters are cumulative since construction; byte and
+/// leaf figures reflect the current footprint.
 struct GraphStats {
-  uint64_t index_rebuilds = 0;   ///< full columnar index (re)builds
-  uint64_t index_patches = 0;    ///< in-place single-mutation patches
-  uint64_t index_drops = 0;      ///< crossover / bulk-load index drops
+  uint64_t index_rebuilds = 0;   ///< full permutation-spine (re)builds
+  uint64_t index_patches = 0;    ///< single-mutation COW spine patches
+  uint64_t index_drops = 0;      ///< bulk-load permutation drops
   uint64_t matches_calls = 0;    ///< Matches() lookups served
-  uint64_t rows_scanned = 0;     ///< rows examined by lookup sweeps
+  uint64_t rows_scanned = 0;     ///< probes/rows examined by lookups
   uint64_t rows_yielded = 0;     ///< rows in the returned ranges
-  bool indexes_built = false;    ///< permutation columns currently valid
-  size_t bytes_primary = 0;      ///< primary (s,p,o) triple vector
-  size_t bytes_pso = 0;          ///< pso columns (0 until built)
-  size_t bytes_pos = 0;          ///< pos columns
-  size_t bytes_osp = 0;          ///< osp columns
+  bool indexes_built = false;    ///< permutation spines currently valid
+  size_t bytes_primary = 0;      ///< primary (s,p,o) spine
+  size_t bytes_pso = 0;          ///< pso spine (0 until built)
+  size_t bytes_pos = 0;          ///< pos spine
+  size_t bytes_osp = 0;          ///< osp spine
+  size_t leaves_primary = 0;     ///< primary spine leaf count
+  size_t leaves_index = 0;       ///< permutation spine leaves (all three)
   size_t bytes_total() const {
     return bytes_primary + bytes_pso + bytes_pos + bytes_osp;
   }
 };
 
-/// A resolved, contiguous range of triples matching a pattern — the
-/// equal_range analogue of Graph::Match. Iterating a MatchRange touches
-/// no hash table and performs no comparisons: every element is a match.
-/// Permuted ranges iterate the columnar index directly (three contiguous
-/// column streams, no gather through the primary vector). The range
-/// stays valid until the graph is mutated.
+/// Leaf-sharing between two graphs' spines: of this graph's `total`
+/// leaves, `shared` are the same objects (pointer equality) as leaves
+/// of the other graph. The publication-observability measure of how
+/// much of a snapshot is structurally shared with its predecessor.
+struct SpineSharing {
+  uint64_t shared = 0;
+  uint64_t total = 0;
+};
+
+/// A resolved, contiguous slot range of one spine holding exactly the
+/// matches of a pattern — the equal_range analogue of Graph::Match.
+/// Iterating a MatchRange touches no hash table and performs no
+/// comparisons: every element is a match, materialized leaf by leaf
+/// from the backing spine's three key columns. The range stays valid
+/// until the graph is mutated.
 class MatchRange {
  public:
   class const_iterator {
@@ -132,156 +115,169 @@ class MatchRange {
     using reference = const Triple&;
 
     const Triple& operator*() const {
-      if (direct_ != nullptr) return *direct_;
-      scratch_.s = Term::FromBits(col_s_[idx_]);
-      scratch_.p = Term::FromBits(col_p_[idx_]);
-      scratch_.o = Term::FromBits(col_o_[idx_]);
+      const size_t i = idx_ - leaf_base_;
+      scratch_.s = Term::FromBits(col_s_[i]);
+      scratch_.p = Term::FromBits(col_p_[i]);
+      scratch_.o = Term::FromBits(col_o_[i]);
       return scratch_;
     }
     const Triple* operator->() const { return &**this; }
     const_iterator& operator++() {
-      if (direct_ != nullptr) {
-        ++direct_;
-      } else {
-        ++idx_;
-      }
+      ++idx_;
+      if (idx_ == leaf_end_) AdvanceLeaf();
       return *this;
     }
-    bool operator==(const const_iterator& o) const {
-      return direct_ == o.direct_ && idx_ == o.idx_;
-    }
-    bool operator!=(const const_iterator& o) const { return !(*this == o); }
+    bool operator==(const const_iterator& o) const { return idx_ == o.idx_; }
+    bool operator!=(const const_iterator& o) const { return idx_ != o.idx_; }
 
    private:
     friend class MatchRange;
-    const_iterator(const Triple* direct, const uint32_t* col_s,
-                   const uint32_t* col_p, const uint32_t* col_o, size_t idx)
-        : direct_(direct),
-          col_s_(col_s),
-          col_p_(col_p),
-          col_o_(col_o),
-          idx_(idx) {}
+    const_iterator(const Spine* spine, IndexOrder order, size_t idx,
+                   size_t limit);
+    void AdvanceLeaf();
 
-    const Triple* direct_;   // current element (direct mode), else nullptr
-    const uint32_t* col_s_;  // per-position key columns (columnar mode)
-    const uint32_t* col_p_;
-    const uint32_t* col_o_;
-    size_t idx_ = 0;         // current column slot (columnar mode)
+    const Spine* spine_ = nullptr;
+    IndexOrder order_ = IndexOrder::kFullScan;
+    size_t idx_ = 0;        // current global slot
+    size_t limit_ = 0;      // range end (no leaf loads at or past it)
+    size_t leaf_base_ = 0;  // global slot of the cached leaf's start
+    size_t leaf_end_ = 0;   // global slot one past the cached leaf
+    const uint32_t* col_s_ = nullptr;  // cached leaf columns by position
+    const uint32_t* col_p_ = nullptr;
+    const uint32_t* col_o_ = nullptr;
     mutable Triple scratch_;  // materialization target of operator*
   };
 
   MatchRange() = default;
 
-  /// A run [first, last) directly inside the primary triple vector.
-  /// `base` is the primary vector's start (for row-id resolution).
-  static MatchRange Direct(const Triple* base, const Triple* first,
-                           const Triple* last, IndexOrder order) {
+  /// A run [first, last) of global slots in `spine`.
+  static MatchRange Over(const Spine* spine, size_t first, size_t last,
+                         IndexOrder order) {
     MatchRange r;
-    r.base_ = base;
-    r.direct_first_ = first;
-    r.direct_last_ = last;
-    r.order_ = order;
-    return r;
-  }
-
-  /// A run [first, last) of slots in a permutation's columns. `base` is
-  /// the primary vector's start (cols->row[i] indexes into it).
-  static MatchRange Columnar(const Triple* base, const IndexColumns* cols,
-                             size_t first, size_t last, IndexOrder order) {
-    MatchRange r;
-    r.base_ = base;
-    r.cols_ = cols;
+    r.spine_ = spine;
     r.first_ = first;
     r.last_ = last;
     r.order_ = order;
     return r;
   }
 
-  size_t size() const {
-    return cols_ != nullptr
-               ? last_ - first_
-               : static_cast<size_t>(direct_last_ - direct_first_);
-  }
+  size_t size() const { return last_ - first_; }
   bool empty() const { return size() == 0; }
   IndexOrder order() const { return order_; }
 
-  /// True when the range is backed by permutation columns, i.e. the
-  /// Filter* fast paths run vectorized over contiguous columns.
-  bool columnar() const { return cols_ != nullptr; }
+  /// True when the range is backed by a lazily built permutation spine
+  /// (pso/pos/osp) rather than the primary order.
+  bool columnar() const {
+    return order_ != IndexOrder::kSpo && order_ != IndexOrder::kFullScan;
+  }
 
-  /// The triple at primary row id `row` (as emitted by the Filter*
-  /// methods).
-  const Triple& TripleAt(uint32_t row) const { return base_[row]; }
+  /// The triple at global slot `slot` of the backing spine, as emitted
+  /// by the Filter* methods. The reference is to a scratch slot reused
+  /// by the next TripleAt call on this range.
+  const Triple& TripleAt(uint32_t slot) const;
 
-  /// Residual bound-position filter: appends to *out the primary row ids
-  /// of the range elements whose position `pos` (0=s, 1=p, 2=o) holds
-  /// `value`, in range order. Vectorized compare-and-compress over the
-  /// backing column when columnar(); scalar sweep in direct mode.
-  /// Returns the number of rows appended.
+  /// Residual bound-position filter: appends to *out the backing-spine
+  /// slots of the range elements whose position `pos` (0=s, 1=p, 2=o)
+  /// holds `value`, in range order. Vectorized compare-and-compress per
+  /// leaf. Returns the number of slots appended.
   size_t FilterBound(int pos, Term value, std::vector<uint32_t>* out) const;
 
   /// Repeated-position residual (e.g. pattern (X, p, X)): appends the
-  /// primary row ids of elements whose positions `pos_a` and `pos_b`
-  /// hold equal terms, in range order. Returns the number appended.
+  /// backing-spine slots of elements whose positions `pos_a` and
+  /// `pos_b` hold equal terms, in range order. Returns the number
+  /// appended.
   size_t FilterPairEqual(int pos_a, int pos_b,
                          std::vector<uint32_t>* out) const;
 
   const_iterator begin() const {
-    if (cols_ != nullptr) {
-      return const_iterator(nullptr, col_of_pos(0), col_of_pos(1),
-                            col_of_pos(2), first_);
-    }
-    return const_iterator(direct_first_, nullptr, nullptr, nullptr, 0);
+    return const_iterator(spine_, order_, first_, last_);
   }
   const_iterator end() const {
-    if (cols_ != nullptr) {
-      return const_iterator(nullptr, col_of_pos(0), col_of_pos(1),
-                            col_of_pos(2), last_);
-    }
-    return const_iterator(direct_last_, nullptr, nullptr, nullptr, 0);
+    return const_iterator(spine_, order_, last_, last_);
   }
 
  private:
-  const uint32_t* col_of_pos(int pos) const {
-    return cols_->key_column(ColumnOfPosition(order_, pos)).data();
-  }
-
-  const Triple* base_ = nullptr;          // primary vector start
-  const Triple* direct_first_ = nullptr;  // direct mode bounds
-  const Triple* direct_last_ = nullptr;
-  const IndexColumns* cols_ = nullptr;    // columnar mode backing
-  size_t first_ = 0;                      // columnar mode slot bounds
+  const Spine* spine_ = nullptr;
+  size_t first_ = 0;
   size_t last_ = 0;
   IndexOrder order_ = IndexOrder::kFullScan;
+  mutable Triple scratch_;  // TripleAt materialization target
 };
 
 /// An RDF graph: a finite set of RDF triples (paper Def. 2.1).
 ///
-/// Triples are kept in a sorted, deduplicated vector in (s, p, o) order.
-/// Three auxiliary permutations in (p,s,o), (p,o,s) and (o,s,p) order
-/// are built lazily to serve the pattern-matching queries issued by the
-/// homomorphism solver and the closure fixpoint. Each permutation is
-/// stored as structure-of-arrays columns (IndexColumns): three raw
-/// term-bit columns in key order plus the primary row id, so lookups and
-/// residual filters sweep one contiguous uint32_t column (vectorized via
-/// scan.h) instead of gathering Triple structs.
+/// Triples live in four copy-on-write column spines (see Spine): the
+/// primary in (s,p,o) order — Triple::operator< compares packed term
+/// bits, so the primary spine *is* the sorted triple set — plus three
+/// lazily built permutations in (p,s,o), (p,o,s) and (o,s,p) order
+/// serving the pattern-matching queries issued by the homomorphism
+/// solver and the closure fixpoint. Each spine stores raw term bits as
+/// structure-of-arrays uint32 columns per leaf, so lookups and residual
+/// filters sweep contiguous columns (vectorized via scan.h).
 ///
-/// Single-triple Insert/Erase *maintain* built permutations in place
-/// (one sorted insert/erase per column), up to a crossover: once more
-/// patches accumulate between index reads than a batched rebuild would
-/// cost, the columns are dropped and the next lookup rebuilds them once
-/// (the bulk InsertAll path always takes the rebuild route). Either
-/// way, outstanding MatchRanges are invalidated by any mutation.
+/// Copying a Graph copies leaf pointers, not leaf contents: an epoch
+/// that changed k triples shares every untouched leaf with its
+/// predecessor, which is what makes Database snapshot publication
+/// proportional to the delta instead of to |G|. Single-triple
+/// Insert/Erase clone only the one leaf they touch per spine (built
+/// permutations are maintained in place the same way); the bulk
+/// InsertAll path drops the permutations and rebuilds them on the next
+/// lookup. Either way, outstanding MatchRanges are invalidated by any
+/// mutation.
 ///
-/// Every mutation that changes the triple set bumps an epoch counter, so
-/// derived structures (closure caches, membership indexes) can detect —
-/// rather than silently serve — staleness.
+/// Every mutation that changes the triple set bumps an epoch counter,
+/// so derived structures (closure caches, membership indexes) can
+/// detect — rather than silently serve — staleness.
 ///
 /// Graph is equally used for *pattern* sets (query bodies/heads), in
 /// which case triples may contain variables.
 class Graph {
  public:
-  using const_iterator = std::vector<Triple>::const_iterator;
+  /// Iterates the primary spine in (s,p,o) order, materializing each
+  /// triple from the leaf columns. Single-pass semantics (operator*
+  /// returns a reference into iterator-owned scratch); operator+ /
+  /// operator- support positional slicing.
+  class const_iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = Triple;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Triple*;
+    using reference = const Triple&;
+
+    const_iterator() = default;
+
+    const Triple& operator*() const {
+      const SpineKey k = spine_->At(idx_);
+      scratch_.s = Term::FromBits(k[0]);
+      scratch_.p = Term::FromBits(k[1]);
+      scratch_.o = Term::FromBits(k[2]);
+      return scratch_;
+    }
+    const Triple* operator->() const { return &**this; }
+    const_iterator& operator++() {
+      ++idx_;
+      return *this;
+    }
+    const_iterator operator+(difference_type d) const {
+      return const_iterator(spine_, idx_ + static_cast<size_t>(d));
+    }
+    difference_type operator-(const const_iterator& o) const {
+      return static_cast<difference_type>(idx_) -
+             static_cast<difference_type>(o.idx_);
+    }
+    bool operator==(const const_iterator& o) const { return idx_ == o.idx_; }
+    bool operator!=(const const_iterator& o) const { return idx_ != o.idx_; }
+
+   private:
+    friend class Graph;
+    const_iterator(const Spine* spine, size_t idx)
+        : spine_(spine), idx_(idx) {}
+
+    const Spine* spine_ = nullptr;
+    size_t idx_ = 0;
+    mutable Triple scratch_;
+  };
 
   Graph() = default;
   Graph(std::initializer_list<Triple> triples);
@@ -290,7 +286,7 @@ class Graph {
   /// Inserts a triple; returns true if it was not already present.
   bool Insert(const Triple& t);
   void Insert(Term s, Term p, Term o) { Insert(Triple(s, p, o)); }
-  /// Inserts all triples of other.
+  /// Inserts all triples of other (one epoch bump if anything changed).
   void InsertAll(const Graph& other);
   /// Removes a triple; returns true if it was present.
   bool Erase(const Triple& t);
@@ -303,16 +299,21 @@ class Graph {
   /// they were built at and compare to detect staleness.
   uint64_t epoch() const { return epoch_; }
 
-  size_t size() const { return triples_.size(); }
-  bool empty() const { return triples_.empty(); }
-  const_iterator begin() const { return triples_.begin(); }
-  const_iterator end() const { return triples_.end(); }
-  const std::vector<Triple>& triples() const { return triples_; }
-  const Triple& operator[](size_t i) const { return triples_[i]; }
-
-  bool operator==(const Graph& other) const {
-    return triples_ == other.triples_;
+  size_t size() const { return spo_.size(); }
+  bool empty() const { return spo_.empty(); }
+  const_iterator begin() const { return const_iterator(&spo_, 0); }
+  const_iterator end() const { return const_iterator(&spo_, spo_.size()); }
+  /// The triple set materialized as a sorted (s,p,o) vector. Built per
+  /// call (O(n)); bind to a const reference or reuse across loops.
+  std::vector<Triple> triples() const;
+  /// The i-th triple in (s,p,o) order. O(log leaves).
+  Triple operator[](size_t i) const {
+    const SpineKey k = spo_.At(i);
+    return Triple(Term::FromBits(k[0]), Term::FromBits(k[1]),
+                  Term::FromBits(k[2]));
   }
+
+  bool operator==(const Graph& other) const;
   bool operator!=(const Graph& other) const { return !(*this == other); }
 
   /// True if *this ⊆ other as sets of triples (i.e. *this is a subgraph).
@@ -339,9 +340,9 @@ class Graph {
   /// Set-theoretic union G1 ∪ G2 (paper §2.1; blank nodes shared).
   static Graph Union(const Graph& g1, const Graph& g2);
 
-  /// Resolves a pattern (wildcard = std::nullopt) to the contiguous index
-  /// range holding exactly its matches, in O(log |G|). The range is
-  /// invalidated by any mutation of the graph.
+  /// Resolves a pattern (wildcard = std::nullopt) to the contiguous
+  /// spine range holding exactly its matches, in O(log² |G|). The range
+  /// is invalidated by any mutation of the graph.
   MatchRange Matches(std::optional<Term> s, std::optional<Term> p,
                      std::optional<Term> o) const;
 
@@ -357,14 +358,14 @@ class Graph {
     return true;
   }
 
-  /// Number of triples matching the given pattern. O(log |G|): the size
-  /// of the resolved index range, with no scan.
+  /// Number of triples matching the given pattern. O(log² |G|): the
+  /// size of the resolved spine range, with no scan.
   size_t CountMatches(std::optional<Term> s, std::optional<Term> p,
                       std::optional<Term> o) const {
     return Matches(s, p, o).size();
   }
 
-  /// Builds the lazy index permutations now if they are stale. The lazy
+  /// Builds the lazy permutation spines now if they are stale. The lazy
   /// build mutates `mutable` state, so a const Graph shared across
   /// threads must be warmed once (by one thread) before concurrent
   /// Matches/Contains calls; after that every read path is const-clean.
@@ -374,36 +375,33 @@ class Graph {
   /// semantics under concurrent readers follow RelaxedCounter.
   GraphStats Stats() const;
 
-  /// Patches-between-reads crossover for a graph of n triples: beyond
-  /// this many in-place index patches with no intervening index read,
-  /// the permutations are dropped and rebuilt once on the next lookup.
-  /// Exposed for the crossover regression tests.
-  static uint64_t PatchCrossover(size_t n);
+  /// Of this graph's spine leaves (primary + built permutations),
+  /// how many are shared (pointer-identical) with `other`. Only spines
+  /// built on both sides are compared; `total` counts this graph's
+  /// leaves of those spines. O(leaves).
+  SpineSharing SharedLeaves(const Graph& other) const;
 
  private:
-  void Normalize();
+  void BuildFrom(std::vector<Triple> triples);
   void EnsureIndexes() const;
-  // In-place maintenance of built permutations around a single-triple
-  // mutation at primary position `pos` (no-ops when indexes are stale).
-  void PatchIndexesInsert(uint32_t pos);
-  void PatchIndexesErase(uint32_t pos);
-  // Drops the permutation columns (next lookup rebuilds).
+  // COW maintenance of built permutations around a single-triple
+  // mutation (no-ops when the permutations are stale).
+  void PatchIndexesInsert(const Triple& t);
+  void PatchIndexesErase(const Triple& t);
+  // Drops the permutation spines (next lookup rebuilds).
   void DropIndexes();
 
-  // Sorted (s,p,o), deduplicated.
-  std::vector<Triple> triples_;
+  // Primary storage: (s,p,o)-ordered key spine. Term bits compare like
+  // Terms, so this spine is the sorted, deduplicated triple set.
+  Spine spo_;
 
   uint64_t epoch_ = 0;
 
-  // Lazily built columnar permutations (see IndexColumns).
+  // Lazily built permutation spines.
   mutable bool indexes_valid_ = false;
-  mutable IndexColumns pso_;  // sorted by (p,s,o)
-  mutable IndexColumns pos_;  // sorted by (p,o,s)
-  mutable IndexColumns osp_;  // sorted by (o,s,p)
-
-  // In-place patches applied since the last index read (reset by
-  // EnsureIndexes); drives the patch-vs-rebuild crossover.
-  RelaxedCounter unread_patches_;
+  mutable Spine pso_;  // sorted by (p,s,o)
+  mutable Spine pos_;  // sorted by (p,o,s)
+  mutable Spine osp_;  // sorted by (o,s,p)
 
   // Observability (see GraphStats / Stats()).
   RelaxedCounter index_rebuilds_;

@@ -1,0 +1,124 @@
+#ifndef SWDB_RDF_SPINE_H_
+#define SWDB_RDF_SPINE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace swdb {
+
+/// A 3-part lexicographic key: a triple's raw term bits (Term::bits)
+/// permuted into one index order's key sequence.
+using SpineKey = std::array<uint32_t, 3>;
+
+/// One immutable chunk of a Spine: up to ~kLeafMax entries as three
+/// structure-of-arrays uint32 columns, sorted lexicographically by
+/// (k0, k1, k2). Leaves are shared across Spine copies by shared_ptr;
+/// a leaf reachable from more than one spine is never mutated.
+struct SpineLeaf {
+  std::vector<uint32_t> k0, k1, k2;
+
+  size_t size() const { return k0.size(); }
+  size_t bytes() const {
+    return (k0.capacity() + k1.capacity() + k2.capacity()) *
+           sizeof(uint32_t);
+  }
+  const std::vector<uint32_t>& column(int k) const {
+    return k == 0 ? k0 : k == 1 ? k1 : k2;
+  }
+  SpineKey at(size_t i) const { return {k0[i], k1[i], k2[i]}; }
+};
+
+/// A sorted set of 3-part keys stored as a sequence of immutable,
+/// shared_ptr-shared leaves — the copy-on-write column spine behind
+/// Graph's primary order and its three permutations.
+///
+/// Copying a Spine copies leaf *pointers* (O(n / leaf size)), not leaf
+/// contents; a single-key Insert/Erase clones only the one leaf it
+/// touches (and only when that leaf is shared), so an epoch that changed
+/// k triples shares every untouched leaf with its predecessor and
+/// publication cost is proportional to k, not to the graph.
+///
+/// Concurrency contract (matching Graph's): one writer mutates a spine
+/// while readers only access *other* Spine objects that share leaves
+/// with it. The use_count()==1 fast path is sound because a leaf
+/// reachable from any reader is held by that reader's own spine, so its
+/// count is at least 2 and the writer clones instead of mutating.
+class Spine {
+ public:
+  /// Split threshold: a leaf growing past this many entries splits in
+  /// half. Bulk builds fill to half of this so freshly built leaves
+  /// absorb patches without immediate splits.
+  static constexpr size_t kLeafMax = 2048;
+
+  Spine() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t leaf_count() const { return leaves_.size(); }
+  size_t bytes() const;
+
+  void Clear();
+  /// Rebuilds from entries that are already sorted and deduplicated.
+  void BulkBuild(const std::vector<SpineKey>& entries);
+
+  bool Contains(const SpineKey& key) const;
+  /// Inserts `key`; returns false if already present.
+  bool Insert(const SpineKey& key);
+  /// Erases `key`; returns false if absent.
+  bool Erase(const SpineKey& key);
+
+  /// The key at global slot `slot` (< size()).
+  SpineKey At(size_t slot) const;
+
+  /// All keys in order, materialized (O(n)) — the bulk-merge input.
+  std::vector<SpineKey> Keys() const;
+
+  /// First global slot whose key is >= `key` (== size() if none).
+  size_t LowerBound(const SpineKey& key) const;
+
+  /// Global slot range of entries with k0 == key0 (and, when key1 is
+  /// non-null, k1 == *key1 within that run). Exactly std::equal_range
+  /// over the flattened columns. `scanned` (optional) accumulates the
+  /// number of binary-search probes, for scan observability.
+  std::pair<size_t, size_t> EqualRange(uint32_t key0, const uint32_t* key1,
+                                       size_t* scanned = nullptr) const;
+
+  /// Leaf geometry, for range iteration and per-leaf filter kernels.
+  /// LeafIndexOf requires slot < size().
+  size_t LeafIndexOf(size_t slot) const;
+  const SpineLeaf& leaf(size_t li) const { return *leaves_[li]; }
+  size_t leaf_start(size_t li) const { return starts_[li]; }
+
+  /// Number of this spine's leaves that are the *same object* (pointer
+  /// equality) as some leaf of `other` — the shared fraction of a
+  /// published snapshot. O(leaves).
+  size_t CountSharedLeavesWith(const Spine& other) const;
+
+  /// Set equality with `other`. Streaming merge-walk over both leaf
+  /// sequences (which may chunk the same contents differently);
+  /// aligned shared leaves compare by pointer in O(1).
+  bool EqualContents(const Spine& other) const;
+
+ private:
+  // Index of the leaf a key belongs to (the last leaf whose first key
+  // is <= key), or 0 when the key precedes everything.
+  size_t LeafForKey(const SpineKey& key) const;
+  // A mutable reference to leaf li, cloning it first if shared.
+  SpineLeaf* Mutable(size_t li);
+  // Splits leaf li in half (after an insert pushed it past kLeafMax).
+  void Split(size_t li);
+
+  std::vector<std::shared_ptr<SpineLeaf>> leaves_;
+  // starts_[i] = global slot of leaves_[i]'s first entry; starts_.size()
+  // == leaves_.size(). Maintained on every mutation (O(leaves)).
+  std::vector<size_t> starts_;
+  size_t size_ = 0;
+};
+
+}  // namespace swdb
+
+#endif  // SWDB_RDF_SPINE_H_

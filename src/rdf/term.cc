@@ -1,6 +1,8 @@
 #include "rdf/term.h"
 
+#include <bit>
 #include <cassert>
+
 #include "util/str.h"
 
 namespace swdb {
@@ -9,28 +11,8 @@ namespace {
 constexpr const char* kVocabNames[] = {
     "rdfs:subPropertyOf", "rdfs:subClassOf", "rdf:type", "rdfs:domain",
     "rdfs:range"};
-}  // namespace
 
-Dictionary::Dictionary() {
-  // Reserve the fixed vocabulary ids so they agree across dictionaries.
-  for (const char* name : kVocabNames) {
-    Intern(TermKind::kIri, name);
-  }
-}
-
-Term Dictionary::Intern(TermKind kind, std::string_view name) {
-  auto& idx = index_[static_cast<int>(kind)];
-  auto& pool = names_[static_cast<int>(kind)];
-  auto it = idx.find(std::string(name));
-  if (it != idx.end()) {
-    return Term(kind == TermKind::kIri    ? Term::Iri(it->second)
-                : kind == TermKind::kBlank ? Term::Blank(it->second)
-                                            : Term::Var(it->second));
-  }
-  uint32_t id = static_cast<uint32_t>(pool.size());
-  assert(id < (1u << 30) && "term id space exhausted");
-  pool.emplace_back(name);
-  idx.emplace(pool.back(), id);
+Term MakeTerm(TermKind kind, uint32_t id) {
   switch (kind) {
     case TermKind::kIri:
       return Term::Iri(id);
@@ -40,6 +22,109 @@ Term Dictionary::Intern(TermKind kind, std::string_view name) {
       return Term::Var(id);
   }
   return Term();
+}
+}  // namespace
+
+// --- Dictionary::NameTable -------------------------------------------
+
+Dictionary::NameTable::Chunk::Chunk(size_t n)
+    : slots(new std::atomic<const std::string*>[n]()), capacity(n) {}
+
+Dictionary::NameTable::~NameTable() {
+  for (std::atomic<Chunk*>& slot : chunks_) {
+    Chunk* c = slot.load(std::memory_order_acquire);
+    if (c == nullptr) continue;
+    for (size_t i = 0; i < c->capacity; ++i) {
+      delete c->slots[i].load(std::memory_order_acquire);
+    }
+    delete c;
+  }
+}
+
+void Dictionary::NameTable::Locate(uint32_t id, int* chunk,
+                                   uint32_t* offset) {
+  const uint32_t q = id / kBase + 1;
+  const int c = std::bit_width(q) - 1;
+  *chunk = c;
+  *offset = id - kBase * ((1u << c) - 1);
+}
+
+Dictionary::NameTable::Chunk* Dictionary::NameTable::ChunkAt(int c) {
+  Chunk* existing = chunks_[c].load(std::memory_order_acquire);
+  if (existing != nullptr) return existing;
+  Chunk* fresh = new Chunk(static_cast<size_t>(kBase) << c);
+  if (chunks_[c].compare_exchange_strong(existing, fresh,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+    return fresh;
+  }
+  delete fresh;  // another shard's writer won the install race
+  return existing;
+}
+
+const std::string* Dictionary::NameTable::Get(uint32_t id) const {
+  int c;
+  uint32_t off;
+  Locate(id, &c, &off);
+  if (c >= kMaxChunks) return nullptr;
+  const Chunk* chunk = chunks_[c].load(std::memory_order_acquire);
+  if (chunk == nullptr) return nullptr;
+  return chunk->slots[off].load(std::memory_order_acquire);
+}
+
+void Dictionary::NameTable::Put(uint32_t id, const std::string* name) {
+  int c;
+  uint32_t off;
+  Locate(id, &c, &off);
+  assert(c < kMaxChunks && "term id space exhausted");
+  ChunkAt(c)->slots[off].store(name, std::memory_order_release);
+}
+
+// --- Dictionary ------------------------------------------------------
+
+Dictionary::Dictionary() {
+  // Reserve the fixed vocabulary ids so they agree across dictionaries.
+  for (const char* name : kVocabNames) {
+    Intern(TermKind::kIri, name);
+  }
+}
+
+Dictionary::Dictionary(const Dictionary& other) : Dictionary() {
+  // Re-intern every name in id order: the sequential id allocators
+  // reproduce the source ids exactly (the five vocabulary names interned
+  // by the delegated constructor are hit as existing entries).
+  for (int k = 0; k < 3; ++k) {
+    const TermKind kind = static_cast<TermKind>(k);
+    const uint32_t n = other.next_id_[k].load(std::memory_order_acquire);
+    for (uint32_t id = 0; id < n; ++id) {
+      const std::string* name = other.names_[k].Get(id);
+      assert(name != nullptr);
+      Intern(kind, *name);
+    }
+  }
+  fresh_counter_.store(other.fresh_counter_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+}
+
+Dictionary::~Dictionary() = default;
+
+Term Dictionary::Intern(TermKind kind, std::string_view name,
+                        bool* inserted) {
+  const int k = static_cast<int>(kind);
+  Shard& shard = shards_[ShardOf(name)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& idx = shard.index[k];
+  if (auto it = idx.find(name); it != idx.end()) {
+    return MakeTerm(kind, it->second);
+  }
+  const uint32_t id = next_id_[k].fetch_add(1, std::memory_order_relaxed);
+  assert(id < (1u << 30) && "term id space exhausted");
+  const auto* stored = new std::string(name);
+  names_[k].Put(id, stored);
+  idx.emplace(std::string_view(*stored), id);
+  shard.name_bytes += stored->size();
+  if (inserted != nullptr) *inserted = true;
+  return MakeTerm(kind, id);
 }
 
 Term Dictionary::Iri(std::string_view name) {
@@ -55,28 +140,34 @@ Term Dictionary::Var(std::string_view name) {
 }
 
 Term Dictionary::FreshBlank() {
+  // Each attempt consumes a counter value; the intern is the atomic
+  // "was it free?" test, so concurrent callers never share a label.
   for (;;) {
     std::string label = "g";
-    label += std::to_string(fresh_counter_++);
-    if (!index_[static_cast<int>(TermKind::kBlank)].count(label)) {
-      return Intern(TermKind::kBlank, label);
-    }
+    label += std::to_string(
+        fresh_counter_.fetch_add(1, std::memory_order_relaxed));
+    bool inserted = false;
+    const Term t = Intern(TermKind::kBlank, label, &inserted);
+    if (inserted) return t;
   }
 }
 
 Term Dictionary::FreshIri() {
   for (;;) {
     std::string name = "urn:swdb:skolem:c";
-    name += std::to_string(fresh_counter_++);
-    if (!index_[static_cast<int>(TermKind::kIri)].count(name)) {
-      return Intern(TermKind::kIri, name);
-    }
+    name += std::to_string(
+        fresh_counter_.fetch_add(1, std::memory_order_relaxed));
+    bool inserted = false;
+    const Term t = Intern(TermKind::kIri, name, &inserted);
+    if (inserted) return t;
   }
 }
 
 Result<Term> Dictionary::FindIri(std::string_view name) const {
-  const auto& idx = index_[static_cast<int>(TermKind::kIri)];
-  auto it = idx.find(std::string(name));
+  const Shard& shard = shards_[ShardOf(name)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto& idx = shard.index[static_cast<int>(TermKind::kIri)];
+  auto it = idx.find(name);
   if (it == idx.end()) {
     return Status::NotFound("IRI not interned: " + std::string(name));
   }
@@ -84,23 +175,42 @@ Result<Term> Dictionary::FindIri(std::string_view name) const {
 }
 
 std::string Dictionary::Name(Term t) const {
-  const auto& pool = names_[static_cast<int>(t.kind())];
-  if (t.id() >= pool.size()) {
+  const std::string* name = names_[static_cast<int>(t.kind())].Get(t.id());
+  if (name == nullptr) {
     return NumberedName("<unknown#", t.id()) + ">";
   }
   switch (t.kind()) {
     case TermKind::kIri:
-      return pool[t.id()];
+      return *name;
     case TermKind::kBlank:
-      return "_:" + pool[t.id()];
+      return "_:" + *name;
     case TermKind::kVar:
-      return "?" + pool[t.id()];
+      return "?" + *name;
   }
   return {};
 }
 
 size_t Dictionary::CountOf(TermKind kind) const {
-  return names_[static_cast<int>(kind)].size();
+  return next_id_[static_cast<int>(kind)].load(std::memory_order_acquire);
+}
+
+DictionaryStats Dictionary::Stats() const {
+  DictionaryStats s;
+  s.iris = CountOf(TermKind::kIri);
+  s.blanks = CountOf(TermKind::kBlank);
+  s.vars = CountOf(TermKind::kVar);
+  s.shards = kShards;
+  s.shard_entries.reserve(kShards);
+  s.shard_bytes.reserve(kShards);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    size_t entries = 0;
+    for (const auto& idx : shard.index) entries += idx.size();
+    s.shard_entries.push_back(entries);
+    s.shard_bytes.push_back(shard.name_bytes);
+    s.name_bytes += shard.name_bytes;
+  }
+  return s;
 }
 
 }  // namespace swdb

@@ -1,8 +1,12 @@
 #ifndef SWDB_RDF_TERM_H_
 #define SWDB_RDF_TERM_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -92,6 +96,19 @@ inline constexpr bool IsRdfsVocab(Term t) {
 }
 }  // namespace vocab
 
+/// Interning observability (Dictionary::Stats): per-kind counts, the
+/// per-shard intern-table load, and stored-spelling bytes.
+struct DictionaryStats {
+  size_t iris = 0;    ///< interned IRIs (incl. the 5 reserved)
+  size_t blanks = 0;  ///< interned blank-node labels
+  size_t vars = 0;    ///< interned variable names
+  size_t shards = 0;  ///< number of intern shards
+  std::vector<size_t> shard_entries;  ///< intern-map entries per shard
+  std::vector<size_t> shard_bytes;    ///< stored spelling bytes per shard
+  size_t name_bytes = 0;              ///< total spelling bytes
+  size_t terms() const { return iris + blanks + vars; }
+};
+
 /// Interns term names. A Dictionary owns the string form of every IRI,
 /// blank-node label and variable name used by the graphs built against
 /// it, and allocates fresh blank nodes (for merges, Skolemization and
@@ -100,9 +117,26 @@ inline constexpr bool IsRdfsVocab(Term t) {
 /// Graphs and Terms do not reference their Dictionary; callers keep the
 /// association. Mixing terms from different dictionaries is a usage
 /// error (ids would alias), except for the five reserved RDFS terms.
+///
+/// Thread safety: any number of threads may intern and look up
+/// concurrently. The intern tables are split into kShards hash-selected
+/// shards with per-shard mutexes, so interning distinct names rarely
+/// contends; `Name()` is lock-free (the spellings live in append-only
+/// chunked storage published with release/acquire). Term ids are
+/// allocated from per-kind global counters fetched under the shard
+/// lock, so the single-threaded intern order — and therefore every
+/// id — is identical to a sequential run; under concurrency ids are
+/// unique but interleaving-dependent.
 class Dictionary {
  public:
+  /// Number of hash-selected intern shards.
+  static constexpr size_t kShards = 16;
+
   Dictionary();
+  /// Deep copy: re-interns every name in id order, reproducing ids.
+  Dictionary(const Dictionary& other);
+  Dictionary& operator=(const Dictionary&) = delete;
+  ~Dictionary();
 
   /// Interns an IRI, returning the existing term if already present.
   Term Iri(std::string_view name);
@@ -121,19 +155,70 @@ class Dictionary {
   Result<Term> FindIri(std::string_view name) const;
 
   /// Textual form of a term: IRIs verbatim, blanks as "_:label",
-  /// variables as "?name".
+  /// variables as "?name". Lock-free; a term whose id has never been
+  /// interned here renders as "<unknown#id>".
   std::string Name(Term t) const;
 
   /// Number of interned terms of the given kind.
   size_t CountOf(TermKind kind) const;
 
- private:
-  Term Intern(TermKind kind, std::string_view name);
+  /// Interning observability snapshot (locks each shard briefly).
+  DictionaryStats Stats() const;
 
-  // One pool per kind; names_[kind][id] is the stored spelling.
-  std::vector<std::string> names_[3];
-  std::unordered_map<std::string, uint32_t> index_[3];
-  uint64_t fresh_counter_ = 0;
+ private:
+  // Append-only id -> spelling storage for one term kind. Writers
+  // publish under their shard lock; readers are lock-free. Slots are
+  // grouped into geometrically growing chunks (1024, 2048, 4096, ...)
+  // installed by CAS, so no published slot ever moves.
+  class NameTable {
+   public:
+    NameTable() = default;
+    ~NameTable();
+    NameTable(const NameTable&) = delete;
+    NameTable& operator=(const NameTable&) = delete;
+
+    /// The spelling of `id`, or nullptr if unpublished. Lock-free.
+    const std::string* Get(uint32_t id) const;
+    /// Publishes `name` (heap-allocated, ownership transferred) as the
+    /// spelling of `id`. Each id is published at most once.
+    void Put(uint32_t id, const std::string* name);
+
+   private:
+    struct Chunk {
+      explicit Chunk(size_t n);
+      std::unique_ptr<std::atomic<const std::string*>[]> slots;
+      size_t capacity;
+    };
+    static constexpr uint32_t kBase = 1024;
+    // Chunk c covers ids [kBase*(2^c - 1), kBase*(2^(c+1) - 1)); 21
+    // chunks cover the whole 2^30 id space.
+    static constexpr int kMaxChunks = 21;
+    static void Locate(uint32_t id, int* chunk, uint32_t* offset);
+    Chunk* ChunkAt(int c);
+
+    std::atomic<Chunk*> chunks_[kMaxChunks] = {};
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    // Keys are views into the NameTable-owned heap strings (stable).
+    std::unordered_map<std::string_view, uint32_t> index[3];
+    size_t name_bytes = 0;
+  };
+
+  static size_t ShardOf(std::string_view name) {
+    return std::hash<std::string_view>{}(name) & (kShards - 1);
+  }
+
+  /// Interns (kind, name); `*inserted` (optional) reports whether this
+  /// call created the term — the atomic test used by Fresh*.
+  Term Intern(TermKind kind, std::string_view name,
+              bool* inserted = nullptr);
+
+  std::array<Shard, kShards> shards_;
+  NameTable names_[3];                     // per kind
+  std::atomic<uint32_t> next_id_[3] = {};  // per-kind id allocators
+  std::atomic<uint64_t> fresh_counter_{0};
 };
 
 }  // namespace swdb

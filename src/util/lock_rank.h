@@ -1,0 +1,65 @@
+#ifndef SWDB_UTIL_LOCK_RANK_H_
+#define SWDB_UTIL_LOCK_RANK_H_
+
+#include <cassert>
+#include <vector>
+
+namespace swdb {
+
+/// Debug-only lock-order enforcement: each mutex is assigned a rank,
+/// and a thread may only acquire a mutex whose rank is strictly greater
+/// than every rank it already holds. Declare a LockRankScope right
+/// after taking the lock (inside the lock_guard's scope, so ranks
+/// release in acquisition-reverse order):
+///
+///   std::lock_guard<std::mutex> lock(write_mu_);
+///   LockRankScope rank(kLockRankWrite);
+///
+/// Violations fire assert() — the checks (and the thread-local rank
+/// stack) compile away entirely under NDEBUG.
+#ifndef NDEBUG
+
+namespace lock_rank_internal {
+inline thread_local std::vector<int> held_ranks;
+}  // namespace lock_rank_internal
+
+class LockRankScope {
+ public:
+  explicit LockRankScope(int rank) : rank_(rank) {
+    auto& held = lock_rank_internal::held_ranks;
+    assert((held.empty() || held.back() < rank) &&
+           "lock-order violation: acquired a lower- or equal-ranked "
+           "mutex while holding a higher-ranked one");
+    held.push_back(rank);
+  }
+  ~LockRankScope() {
+    auto& held = lock_rank_internal::held_ranks;
+    assert(!held.empty() && held.back() == rank_ &&
+           "lock ranks must release in acquisition-reverse order");
+    held.pop_back();
+  }
+  LockRankScope(const LockRankScope&) = delete;
+  LockRankScope& operator=(const LockRankScope&) = delete;
+
+ private:
+  int rank_;
+};
+
+#else  // NDEBUG
+
+class LockRankScope {
+ public:
+  explicit LockRankScope(int) {}
+  LockRankScope(const LockRankScope&) = delete;
+  LockRankScope& operator=(const LockRankScope&) = delete;
+};
+
+#endif  // NDEBUG
+
+/// The documented Database ordering: write_mu_ before snapshot_mu_.
+inline constexpr int kLockRankWrite = 1;
+inline constexpr int kLockRankSnapshot = 2;
+
+}  // namespace swdb
+
+#endif  // SWDB_UTIL_LOCK_RANK_H_

@@ -319,6 +319,273 @@ TEST(DatabaseSnapshot, NormalizedBuildsOncePerSnapshotEpoch) {
   EXPECT_EQ(db.stats().snapshot_nf_builds.load(), 2u);
 }
 
+// --------------------------------------------------------------------------
+// Sharded dictionary: concurrent interning.
+
+TEST(DictionaryConcurrency, ParallelInternOfSharedNamesConverges) {
+  // N threads intern the same name set in different orders. Every
+  // thread must end up with the same name -> id assignment (ids are
+  // handed out once, under the owning shard's lock), and the lock-free
+  // Name() must round-trip every id.
+  Dictionary dict;
+  constexpr int kThreads = 8;
+  constexpr int kNames = 400;
+  std::vector<std::string> names;
+  names.reserve(kNames);
+  for (int i = 0; i < kNames; ++i) {
+    names.push_back("u:shared" + std::to_string(i));
+  }
+
+  std::vector<std::vector<Term>> got(kThreads);
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      ready.fetch_add(1);
+      while (ready.load(std::memory_order_relaxed) < kThreads) {
+        std::this_thread::yield();
+      }
+      got[w].reserve(kNames);
+      // Stagger the order per thread so shards are hit in different
+      // sequences and first-interner races actually happen.
+      for (int i = 0; i < kNames; ++i) {
+        const int j = (i * 7 + w * 53) % kNames;
+        Term t = (j % 3 == 0) ? dict.Blank(names[j]) : dict.Iri(names[j]);
+        got[w].push_back(t);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Agreement: reorder each thread's terms back to canonical order.
+  for (int w = 0; w < kThreads; ++w) {
+    std::vector<Term> canon(kNames);
+    for (int i = 0; i < kNames; ++i) {
+      canon[(i * 7 + w * 53) % kNames] = got[w][i];
+    }
+    for (int j = 0; j < kNames; ++j) {
+      EXPECT_EQ(canon[j], (j % 3 == 0) ? dict.Blank(names[j])
+                                       : dict.Iri(names[j]))
+          << "thread " << w << " name " << j;
+      // Blank labels render with the "_:" prefix.
+      EXPECT_EQ(dict.Name(canon[j]),
+                (j % 3 == 0) ? "_:" + names[j] : names[j]);
+    }
+  }
+  // Exactly one id per distinct (kind, name): no duplicates leaked.
+  DictionaryStats ds = dict.Stats();
+  size_t sharded = 0;
+  for (size_t n : ds.shard_entries) sharded += n;
+  EXPECT_EQ(sharded, ds.terms());
+}
+
+TEST(DictionaryConcurrency, LockFreeNameReadsRaceInterning) {
+  // Readers hammer Name() on every id published so far while writers
+  // keep interning fresh names: Name() takes no lock, so this is the
+  // TSan-visible proof the id -> name table publication is race-free.
+  Dictionary dict;
+  std::atomic<uint32_t> published{0};
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+
+  std::thread writer([&] {
+    for (int i = 0; i < 4000; ++i) {
+      Term t = dict.Iri("u:grow" + std::to_string(i));
+      published.store(t.id(), std::memory_order_release);
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      uint64_t reads = 0;
+      while (!stop.load(std::memory_order_relaxed) || reads == 0) {
+        const uint32_t hi = published.load(std::memory_order_acquire);
+        if (hi == 0) continue;
+        Term probe = Term::Iri(hi);
+        if (dict.Name(probe).rfind("u:grow", 0) != 0) failures.fetch_add(1);
+        ++reads;
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(dict.Name(dict.Iri("u:grow0")), "u:grow0");
+}
+
+TEST(DictionaryConcurrency, FreshBlanksDistinctAcrossThreads) {
+  Dictionary dict;
+  constexpr int kThreads = 8;
+  constexpr int kEach = 300;
+  std::vector<std::vector<Term>> fresh(kThreads);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kEach; ++i) fresh[w].push_back(dict.FreshBlank());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::map<uint32_t, int> seen;
+  for (int w = 0; w < kThreads; ++w) {
+    for (Term t : fresh[w]) {
+      EXPECT_TRUE(t.IsBlank());
+      EXPECT_EQ(++seen[t.id()], 1) << "duplicate fresh blank id " << t.id();
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kThreads * kEach));
+}
+
+// --------------------------------------------------------------------------
+// Delta-proportional publication.
+
+TEST(DatabaseSnapshot, PublicationSharesLeavesWithPredecessor) {
+  // After a big load, a single-triple insert must republish by sharing
+  // almost every spine leaf with the previous snapshot and copying only
+  // the touched ones.
+  Dictionary dict;
+  Database db(&dict);
+  std::vector<Triple> bulk;
+  Term p = dict.Iri("u:p");
+  for (int i = 0; i < 6000; ++i) {
+    bulk.emplace_back(dict.Iri("u:s" + std::to_string(i)), p,
+                      dict.Iri("u:o" + std::to_string(i % 97)));
+  }
+  db.InsertGraph(Graph(std::move(bulk)));
+  std::shared_ptr<const DatabaseSnapshot> first = db.Snapshot();
+
+  db.Insert(Triple(dict.Iri("u:new"), p, dict.Iri("u:o0")));
+  std::shared_ptr<const DatabaseSnapshot> second = db.Snapshot();
+  ASSERT_NE(second, first);
+
+  // Direct structural check: nearly all of the second snapshot's leaves
+  // are the first snapshot's leaves (pointer-identical).
+  SpineSharing s = second->data().SharedLeaves(first->data());
+  EXPECT_GT(s.total, 20u);  // the load is big enough to be multi-leaf
+  EXPECT_GT(s.shared, 0u);
+  EXPECT_LE(s.total - s.shared, 8u)  // at most ~one leaf per spine copied
+      << "shared " << s.shared << " of " << s.total;
+
+  // And the counters saw it: the second publication shared much more
+  // than it copied.
+  const DatabaseStats stats = db.stats();
+  EXPECT_GE(stats.snapshot_publishes.load(), 2u);
+  EXPECT_GT(stats.publish_leaves_shared.load(),
+            stats.publish_leaves_copied.load());
+
+  // Sharing is an optimization only: content equals a from-scratch
+  // build.
+  EXPECT_EQ(second->data(), db.graph());
+  EXPECT_EQ(second->closure(), RdfsClosure(second->data()));
+  EXPECT_EQ(first->data().size(), 6000u);
+}
+
+// --------------------------------------------------------------------------
+// Cross-epoch lean cache.
+
+// Several independent *lean* blank components (nothing to fold onto):
+// each one is refuted in round 1, which is exactly what populates the
+// cross-epoch LeanCache. (InsertFoldableData's components all fold, so
+// they never produce cache writes.)
+void InsertLeanComponents(Database* db, Dictionary* dict, int n = 4) {
+  for (int i = 0; i < n; ++i) {
+    db->Insert(Triple(dict->Iri("u:ls" + std::to_string(i)),
+                      dict->Iri("u:lp" + std::to_string(i)),
+                      dict->FreshBlank()));
+  }
+}
+
+TEST(LeanCacheDatabase, CrossEpochHitsOnUnrelatedInsert) {
+  // Normalize, insert a triple unrelated to every blank component, and
+  // normalize again: the second core run must skip the unchanged
+  // components via the shared LeanCache.
+  Dictionary dict;
+  Database db(&dict);
+  InsertLeanComponents(&db, &dict);
+  (void)db.Normalized();
+  const DatabaseStats before = db.CollectStats();
+  EXPECT_GT(before.lean_cache.writes, 0u);
+
+  db.Insert(
+      Triple(dict.Iri("u:lonely"), dict.Iri("u:q"), dict.Iri("u:ground")));
+  const Graph& nf = db.Normalized();
+  const DatabaseStats after = db.CollectStats();
+  EXPECT_GT(after.lean_cache.cross_hits, 0u);
+  // Bit-identical to the from-scratch normal form.
+  EXPECT_EQ(nf, Core(RdfsClosure(db.graph())));
+}
+
+TEST(LeanCacheDatabase, InsertEvictsNewlyFoldableComponent) {
+  // A lean component becomes foldable when its ground image appears:
+  // the insert delta must evict the stale "proven lean" entry, or the
+  // second normal form would wrongly keep the blank triple.
+  Dictionary dict;
+  Database db(&dict);
+  Term a = dict.Iri("u:a");
+  Term p = dict.Iri("u:p");
+  Term blank = dict.FreshBlank();
+  db.Insert(Triple(a, p, blank));  // lean: nothing to fold onto
+  const Graph& nf1 = db.Normalized();
+  EXPECT_TRUE(nf1.Contains(Triple(a, p, blank)));
+
+  db.Insert(Triple(a, p, dict.Iri("u:b")));  // ground image appears
+  const Graph& nf2 = db.Normalized();
+  EXPECT_FALSE(nf2.Contains(Triple(a, p, blank)))
+      << "stale lean-cache entry survived the insert";
+  EXPECT_EQ(nf2, Core(RdfsClosure(db.graph())));
+  EXPECT_GT(db.CollectStats().lean_cache.evictions, 0u);
+}
+
+TEST(LeanCacheDatabase, SnapshotsFeedAndConsumeTheSharedCache) {
+  // A snapshot's lazy normalized() build populates the cache; the next
+  // epoch's snapshot (same components) consumes it cross-epoch.
+  Dictionary dict;
+  Database db(&dict);
+  InsertLeanComponents(&db, &dict);
+  std::shared_ptr<const DatabaseSnapshot> first = db.Snapshot();
+  (void)first->normalized();
+  const uint64_t writes = db.CollectStats().lean_cache.writes;
+  EXPECT_GT(writes, 0u);
+
+  db.Insert(
+      Triple(dict.Iri("u:lonely"), dict.Iri("u:q"), dict.Iri("u:ground")));
+  std::shared_ptr<const DatabaseSnapshot> second = db.Snapshot();
+  const Graph& nf = second->normalized();
+  EXPECT_GT(db.CollectStats().lean_cache.cross_hits, 0u);
+  EXPECT_EQ(nf, Core(RdfsClosure(second->data())));
+  // The first snapshot stays frozen and correct.
+  EXPECT_EQ(first->normalized(), Core(RdfsClosure(first->data())));
+}
+
+TEST(LeanCacheDatabase, LaggingSnapshotIsFencedAfterErase) {
+  // Erase-stamp fencing: a snapshot published *before* an erase must
+  // not consume entries written *after* it (they were proven against a
+  // smaller graph). The lagging snapshot's normal form must still equal
+  // its own from-scratch core.
+  Dictionary dict;
+  Database db(&dict);
+  Term a = dict.Iri("u:a");
+  Term p = dict.Iri("u:p");
+  Term q = dict.Iri("u:q");
+  Term blank = dict.FreshBlank();
+  db.Insert(Triple(a, p, blank));
+  db.Insert(Triple(a, p, dict.Iri("u:b")));  // makes the component fold
+  db.Insert(Triple(a, q, dict.Iri("u:c")));
+  std::shared_ptr<const DatabaseSnapshot> lagging = db.Snapshot();
+
+  // Erase the ground image: in the *new* state the blank component is
+  // lean again, and normalizing writes that (stamped) entry.
+  db.Erase(Triple(a, p, dict.Iri("u:b")));
+  (void)db.Normalized();
+
+  // The lagging snapshot still contains the ground image, so its
+  // component folds — a cache hit here would be unsound.
+  const Graph& nf = lagging->normalized();
+  EXPECT_FALSE(nf.Contains(Triple(a, p, blank)));
+  EXPECT_EQ(nf, Core(RdfsClosure(lagging->data())));
+}
+
 TEST(DatabaseStatsAtomics, CopyAndResetBehave) {
   Dictionary dict;
   Database db(&dict);

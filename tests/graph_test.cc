@@ -478,60 +478,73 @@ TEST_F(ColumnarFuzzTest, FilterBoundAndPairEqualAgreeWithBruteForce) {
 }
 
 // ---------------------------------------------------------------------------
-// Patch-vs-rebuild crossover and stats.
+// COW spine sharing, leaf splits, and stats.
 
-TEST(GraphCrossover, LargeUnreadBatchTriggersExactlyOneRebuild) {
+TEST(GraphSpine, CopySharesLeavesAndPatchesDiverge) {
   Graph g;
-  for (uint32_t i = 0; i < 500; ++i) {
-    g.Insert(Triple(Term::Iri(100 + i), Term::Iri(50), Term::Iri(200 + i)));
+  for (uint32_t i = 0; i < 5000; ++i) {
+    g.Insert(Triple(Term::Iri(100 + i), Term::Iri(50 + i % 7),
+                    Term::Iri(200 + i % 97)));
   }
   g.WarmIndexes();
-  const GraphStats warm = g.Stats();
-  ASSERT_EQ(warm.index_rebuilds, 1u);
-  ASSERT_EQ(warm.index_drops, 0u);
+  const Graph snapshot = g;  // copies leaf pointers, not contents
+  snapshot.WarmIndexes();    // already built: shares the spines
 
-  // A batch far past the crossover, with no index read in between: the
-  // first ~PatchCrossover(n) mutations patch in place (the threshold is
-  // re-evaluated against the growing size, so bound it from both ends),
-  // then the columns are dropped once and every further mutation is
-  // index-free.
-  const uint64_t batch = 200;
-  for (uint64_t i = 0; i < batch; ++i) {
-    g.Insert(Triple(Term::Iri(5000 + i), Term::Iri(51), Term::Iri(60)));
-  }
-  GraphStats st = g.Stats();
-  EXPECT_GE(st.index_patches, Graph::PatchCrossover(500));
-  EXPECT_LE(st.index_patches, Graph::PatchCrossover(500 + batch));
-  EXPECT_EQ(st.index_drops, 1u);
-  EXPECT_EQ(st.index_rebuilds, 1u);  // rebuild is lazy: not yet
-  EXPECT_FALSE(st.indexes_built);
+  const SpineSharing before = g.SharedLeaves(snapshot);
+  ASSERT_GT(before.total, 8u);  // 5000 triples span multiple leaves
+  EXPECT_EQ(before.shared, before.total);
 
-  // First index read after the batch: exactly one rebuild, and repeated
-  // reads stay free.
-  EXPECT_EQ(g.CountMatches(std::nullopt, Term::Iri(51), std::nullopt), batch);
-  EXPECT_EQ(g.CountMatches(std::nullopt, Term::Iri(50), std::nullopt), 500u);
-  st = g.Stats();
-  EXPECT_EQ(st.index_rebuilds, 2u);
-  EXPECT_TRUE(st.indexes_built);
+  // A single insert clones at most one leaf per spine (plus a possible
+  // split); everything else stays shared, and the snapshot is untouched.
+  const size_t snap_size = snapshot.size();
+  ASSERT_TRUE(g.Insert(Triple(Term::Iri(99), Term::Iri(49), Term::Iri(199))));
+  const SpineSharing after = g.SharedLeaves(snapshot);
+  EXPECT_EQ(snapshot.size(), snap_size);
+  EXPECT_FALSE(snapshot.Contains(
+      Triple(Term::Iri(99), Term::Iri(49), Term::Iri(199))));
+  EXPECT_GE(after.shared + 8, after.total);  // ≤ 2 leaves diverged per spine
+  EXPECT_LT(after.shared, after.total);
+  EXPECT_GT(g.Stats().index_patches, 0u);
 }
 
-TEST(GraphCrossover, ReadsBetweenMutationsKeepThePatchPath) {
+TEST(GraphSpine, MutationFuzzMatchesFromScratchBuild) {
+  std::mt19937 rng(20260808);
   Graph g;
-  for (uint32_t i = 0; i < 500; ++i) {
-    g.Insert(Triple(Term::Iri(100 + i), Term::Iri(50), Term::Iri(200 + i)));
+  std::set<Triple> ref;
+  // Interleave inserts/erases (biased toward growth so leaves split),
+  // periodically checking the mutated graph is bit-identical to a
+  // from-scratch build of the reference set.
+  for (int step = 0; step < 12000; ++step) {
+    const Triple t(Term::Iri(rng() % 700), Term::Iri(rng() % 11),
+                   Term::Iri(rng() % 700));
+    if (rng() % 4 != 0) {
+      EXPECT_EQ(g.Insert(t), ref.insert(t).second);
+    } else {
+      EXPECT_EQ(g.Erase(t), ref.erase(t) != 0);
+    }
+    if (step % 400 == 0) g.WarmIndexes();  // exercise the patch paths
+    if (step % 1499 == 0) {
+      ASSERT_EQ(g.size(), ref.size());
+      const Graph fresh(std::vector<Triple>(ref.begin(), ref.end()));
+      ASSERT_TRUE(g == fresh);
+      ASSERT_EQ(g.triples(), fresh.triples());
+    }
   }
-  g.WarmIndexes();
-  // Mutation bursts below the crossover with an index read after each:
-  // the read consumes the patches, so the columns are never dropped.
-  for (int burst = 0; burst < 20; ++burst) {
-    g.Insert(Triple(Term::Iri(9000 + burst), Term::Iri(51), Term::Iri(60)));
-    g.Erase(Triple(Term::Iri(9000 + burst), Term::Iri(51), Term::Iri(60)));
-    ASSERT_EQ(g.CountMatches(std::nullopt, Term::Iri(51), std::nullopt), 0u);
+  ASSERT_EQ(g.size(), ref.size());
+  size_t i = 0;
+  for (const Triple& t : g) {
+    ASSERT_EQ(g[i++], t);
+    ASSERT_TRUE(ref.count(t) != 0);
   }
-  const GraphStats st = g.Stats();
-  EXPECT_EQ(st.index_rebuilds, 1u);
-  EXPECT_EQ(st.index_drops, 0u);
-  EXPECT_EQ(st.index_patches, 40u);
+  // Lookups agree with the reference on every routing combination.
+  std::vector<Triple> probes(ref.begin(), ref.end());
+  for (size_t k = 0; k < probes.size(); k += 97) {
+    const Triple& t = probes[k];
+    EXPECT_GE(g.CountMatches(t.s, std::nullopt, std::nullopt), 1u);
+    EXPECT_GE(g.CountMatches(t.s, t.p, std::nullopt), 1u);
+    EXPECT_GE(g.CountMatches(std::nullopt, t.p, t.o), 1u);
+    EXPECT_EQ(g.CountMatches(t.s, t.p, t.o), 1u);
+  }
 }
 
 TEST(GraphStatsTest, CountsCallsBytesAndYields) {
@@ -553,15 +566,12 @@ TEST(GraphStatsTest, CountsCallsBytesAndYields) {
   EXPECT_EQ(st.matches_calls, 2u);
   EXPECT_GE(st.rows_yielded, hits);
   EXPECT_TRUE(st.indexes_built);
-  // Four uint32 columns per permutation, three permutations.
-  EXPECT_GE(st.bytes_pso, n * 4 * sizeof(uint32_t));
+  // Three uint32 key columns per permutation spine, three permutations.
+  EXPECT_GE(st.bytes_pso, n * 3 * sizeof(uint32_t));
   EXPECT_GE(st.bytes_total(),
-            st.bytes_primary + 3 * n * 4 * sizeof(uint32_t));
-}
-
-TEST(GraphCrossover, PatchCrossoverGrowsWithSize) {
-  EXPECT_GE(Graph::PatchCrossover(0), 16u);
-  EXPECT_GE(Graph::PatchCrossover(1u << 20), Graph::PatchCrossover(1u << 10));
+            st.bytes_primary + 3 * n * 3 * sizeof(uint32_t));
+  EXPECT_GE(st.leaves_primary, 1u);
+  EXPECT_GE(st.leaves_index, 3u);
 }
 
 TEST(GraphParse, RoundTrip) {

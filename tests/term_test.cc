@@ -115,6 +115,55 @@ TEST(Dictionary, FindIri) {
             StatusCode::kNotFound);
 }
 
+TEST(Dictionary, SequentialInternOrderIsDeterministic) {
+  // The sharded dictionary allocates ids from per-kind global counters
+  // under the owning shard's lock, so a single-threaded intern sequence
+  // yields exactly the same ids as any other dictionary fed the same
+  // sequence — graphs serialized by id stay comparable across runs.
+  Dictionary a;
+  Dictionary b;
+  std::vector<std::string> names;
+  for (int i = 0; i < 200; ++i) names.push_back("u:n" + std::to_string(i));
+  for (const std::string& n : names) {
+    EXPECT_EQ(a.Iri(n), b.Iri(n));
+    EXPECT_EQ(a.Blank(n), b.Blank(n));
+  }
+  EXPECT_EQ(a.FreshBlank(), b.FreshBlank());
+  EXPECT_EQ(a.CountOf(TermKind::kIri), b.CountOf(TermKind::kIri));
+}
+
+TEST(Dictionary, StatsCountShardsAndSpellings) {
+  Dictionary dict;
+  dict.Iri("urn:alpha");
+  dict.Blank("beta");
+  dict.Var("x");
+  DictionaryStats s = dict.Stats();
+  EXPECT_EQ(s.iris, vocab::kReservedIris + 1);
+  EXPECT_EQ(s.blanks, 1u);
+  EXPECT_EQ(s.vars, 1u);
+  EXPECT_EQ(s.shards, s.shard_entries.size());
+  EXPECT_EQ(s.shards, s.shard_bytes.size());
+  size_t entries = 0;
+  size_t bytes = 0;
+  for (size_t n : s.shard_entries) entries += n;
+  for (size_t n : s.shard_bytes) bytes += n;
+  EXPECT_EQ(entries, s.terms());
+  EXPECT_EQ(bytes, s.name_bytes);
+  EXPECT_GE(s.name_bytes, std::string("urn:alpha").size() +
+                              std::string("beta").size() + 1);
+}
+
+TEST(Dictionary, CopyReproducesIdsAndSpellings) {
+  Dictionary dict;
+  Term i = dict.Iri("urn:copy");
+  Term b = dict.FreshBlank();
+  Dictionary copy = dict;
+  EXPECT_EQ(copy.Iri("urn:copy"), i);
+  EXPECT_EQ(copy.Name(b), dict.Name(b));
+  // Fresh allocation continues independently but from the same state.
+  EXPECT_EQ(copy.FreshBlank(), dict.FreshBlank());
+}
+
 TEST(Dictionary, CountOf) {
   Dictionary dict;
   size_t base = dict.CountOf(TermKind::kIri);
