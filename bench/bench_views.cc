@@ -1,0 +1,222 @@
+// E19 — materialized pre-answer view layer.
+//
+// Prices the three claims of the view-cache PR:
+//
+//   * RepeatedShapeUncached/N    — views disabled: the same two-step
+//                                  join is evaluated per iteration, a
+//                                  full matcher rerun over nf(D).
+//   * RepeatedShapeWarm/N        — views enabled, promoted on first
+//                                  sight: iteration 2+ replays the
+//                                  materialized answer vector (COW
+//                                  graph copies, no matcher).
+//   * HitRateSweep/N/K           — K distinct shapes cycling under the
+//                                  default promote-after-2 advisor;
+//                                  exports the steady-state hit rate.
+//   * InsertThenQueryRecompute/N — one fresh triple, then the join,
+//                                  views disabled: closure delta
+//                                  maintenance + full matcher rerun.
+//   * InsertThenQueryPatched/N   — same mutation stream with views on:
+//                                  the insert is folded into the view
+//                                  by the semi-naive delta patch.
+//
+// Acceptance is read off N = 100k: RepeatedShapeWarm must be >= 10x
+// faster than RepeatedShapeUncached, and InsertThenQueryPatched must
+// beat InsertThenQueryRecompute.
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "query/database.h"
+#include "query/query.h"
+#include "rdf/graph.h"
+#include "rdf/term.h"
+#include "rdf/triple.h"
+
+namespace swdb {
+namespace {
+
+Term Subj(uint32_t i) { return Term::Iri(vocab::kReservedIris + i); }
+Term Pred(uint32_t i) { return Term::Iri(1u << 20 | i); }
+
+constexpr uint32_t kPreds = 8;
+
+// Node ids shared between subject and object positions so the join
+// predicate chains: ?X p0 ?Y . ?Y p0 ?Z has real fan-out.
+std::vector<Triple> MakeTriples(size_t n) {
+  std::mt19937 rng(20260808);
+  const uint32_t nodes = static_cast<uint32_t>(n / 16 + 1);
+  std::vector<Triple> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    v.push_back(
+        Triple(Subj(rng() % nodes), Pred(rng() % kPreds), Subj(rng() % nodes)));
+  }
+  return v;
+}
+
+// head: ?X r ?Z   body: ?X p0 ?Y . ?Y p0 ?Z — the repeated hot shape.
+Query TwoStepJoin() {
+  Query q;
+  q.head = Graph({Triple(Term::Var(0), Pred(kPreds), Term::Var(2))});
+  q.body = Graph({Triple(Term::Var(0), Pred(0), Term::Var(1)),
+                  Triple(Term::Var(1), Pred(0), Term::Var(2))});
+  return q;
+}
+
+// head: ?X r ?Y   body: ?X p_k ?Y — the K shapes of the hit-rate sweep.
+Query SinglePattern(uint32_t k) {
+  Query q;
+  q.head = Graph({Triple(Term::Var(0), Pred(kPreds), Term::Var(1))});
+  q.body = Graph({Triple(Term::Var(0), Pred(k % kPreds), Term::Var(1))});
+  return q;
+}
+
+// One prebuilt, closure-warmed Database per (series, n): setup cost is
+// paid once, not per benchmark iteration. The dictionary only backs
+// fresh-blank minting (terms here are minted by bits), so one shared
+// instance is fine.
+Database* SetupDb(const std::string& tag, size_t n, bool views_on,
+                  uint32_t promote_after) {
+  static std::map<std::string, std::unique_ptr<Database>>* dbs =
+      new std::map<std::string, std::unique_ptr<Database>>();
+  static Dictionary* dict = new Dictionary();
+  const std::string key = tag + "/" + std::to_string(n);
+  auto it = dbs->find(key);
+  if (it == dbs->end()) {
+    EvalOptions opts;
+    opts.views.enabled = views_on;
+    opts.views.promote_after = promote_after;
+    it = dbs->emplace(key, std::make_unique<Database>(dict, opts)).first;
+    it->second->InsertGraph(Graph(MakeTriples(n)));
+    (void)it->second->Normalized();  // closure + nf built outside timing
+  }
+  return it->second.get();
+}
+
+void RepeatedShapeUncached(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Database* db = SetupDb("uncached", n, /*views_on=*/false, 1);
+  const Query q = TwoStepJoin();
+  size_t answers = 0;
+  for (auto _ : state) {
+    Result<std::vector<Graph>> pre = db->PreAnswer(q);
+    answers = pre.ok() ? pre->size() : 0;
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(RepeatedShapeUncached)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void RepeatedShapeWarm(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Database* db = SetupDb("warm", n, /*views_on=*/true, 1);
+  const Query q = TwoStepJoin();
+  (void)db->PreAnswer(q);  // install outside timing: iterations replay
+  db->ResetStats();
+  size_t answers = 0;
+  for (auto _ : state) {
+    Result<std::vector<Graph>> pre = db->PreAnswer(q);
+    answers = pre.ok() ? pre->size() : 0;
+    benchmark::DoNotOptimize(answers);
+  }
+  const DatabaseStats stats = db->CollectStats();
+  state.counters["answers"] = static_cast<double>(answers);
+  state.counters["hits"] = static_cast<double>(stats.views.hits);
+  state.counters["matchings"] = static_cast<double>(stats.views.matchings);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(RepeatedShapeWarm)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+// K shapes cycling round-robin under the default advisor threshold:
+// every shape is promoted after its second sight, so the steady-state
+// hit rate approaches 1 while the counters expose the warm-up misses.
+void HitRateSweep(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const uint32_t k = static_cast<uint32_t>(state.range(1));
+  Database* db = SetupDb("sweep" + std::to_string(k), n, /*views_on=*/true, 2);
+  std::vector<Query> shapes;
+  shapes.reserve(k);
+  for (uint32_t i = 0; i < k; ++i) shapes.push_back(SinglePattern(i));
+  db->ResetStats();
+  uint32_t next = 0;
+  for (auto _ : state) {
+    Result<std::vector<Graph>> pre = db->PreAnswer(shapes[next % k]);
+    ++next;
+    benchmark::DoNotOptimize(pre.ok());
+  }
+  const DatabaseStats stats = db->CollectStats();
+  const double hits = static_cast<double>(stats.views.hits);
+  const double misses = static_cast<double>(stats.views.misses);
+  state.counters["hit_rate"] =
+      hits + misses > 0 ? hits / (hits + misses) : 0.0;
+  state.counters["installs"] = static_cast<double>(stats.views.installs);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(HitRateSweep)
+    ->Args({100000, 1})
+    ->Args({100000, 4})
+    ->Args({100000, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+// The shared mutation stream of the two insert series: a fresh subject
+// per step keeps every insert genuinely new, the object stays inside
+// the join range so the view's matching set actually moves.
+Triple FreshJoinTriple(size_t n, uint32_t step) {
+  const uint32_t nodes = static_cast<uint32_t>(n / 16 + 1);
+  return Triple(Subj(static_cast<uint32_t>(n) + step), Pred(0),
+                Subj(step % nodes));
+}
+
+void InsertThenQueryRecompute(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Database* db = SetupDb("ins_recompute", n, /*views_on=*/false, 1);
+  const Query q = TwoStepJoin();
+  (void)db->PreAnswer(q);
+  uint32_t step = 0;
+  for (auto _ : state) {
+    db->Insert(FreshJoinTriple(n, step++));
+    Result<std::vector<Graph>> pre = db->PreAnswer(q);
+    benchmark::DoNotOptimize(pre.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(InsertThenQueryRecompute)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void InsertThenQueryPatched(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Database* db = SetupDb("ins_patched", n, /*views_on=*/true, 1);
+  const Query q = TwoStepJoin();
+  (void)db->PreAnswer(q);  // materialize the view before timing
+  db->ResetStats();
+  uint32_t step = 0;
+  for (auto _ : state) {
+    db->Insert(FreshJoinTriple(n, step++));
+    Result<std::vector<Graph>> pre = db->PreAnswer(q);
+    benchmark::DoNotOptimize(pre.ok());
+  }
+  const DatabaseStats stats = db->CollectStats();
+  state.counters["patches"] = static_cast<double>(stats.views.patches);
+  state.counters["patch_added"] =
+      static_cast<double>(stats.views.patch_added);
+  state.counters["invalidations"] =
+      static_cast<double>(stats.views.invalidations);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(InsertThenQueryPatched)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace swdb
+
+BENCHMARK_MAIN();

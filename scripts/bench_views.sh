@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Builds and runs the materialized-view benchmark (E19) and writes the
+# results to BENCH_views.json at the repo root.
+#
+# Usage: scripts/bench_views.sh [build-dir] [extra benchmark args...]
+# The acceptance checks of this PR read, at N = 100k:
+#   RepeatedShapeWarm vs RepeatedShapeUncached  (warm must be >= 10x faster)
+#   InsertThenQueryPatched vs InsertThenQueryRecompute (patched must win)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+
+# Benchmarks must never run instrumented: pin SWDB_SANITIZE=OFF so a
+# stale sanitized cache in the build dir cannot leak into the numbers.
+cmake -B "$build_dir" -S "$repo_root" -DSWDB_SANITIZE=OFF >/dev/null
+cmake --build "$build_dir" -j --target bench_views
+
+"$build_dir/bench/bench_views" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.2 \
+  "$@" > "$repo_root/BENCH_views.json"
+
+python3 "$repo_root/scripts/bench_context.py" "$repo_root/BENCH_views.json"
+echo "wrote $repo_root/BENCH_views.json"

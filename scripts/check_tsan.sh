@@ -3,8 +3,11 @@
 # runs the concurrency-sensitive suites: the thread pool + parallel
 # matcher/closure tests, the parallel core/nf engine parity tests, the
 # Database snapshot stress tests (including racing normalized() readers
-# against the call_once core build), and the sharded-dictionary tests
-# (concurrent interning, lock-free Name() readers, fresh-blank races).
+# against the call_once core build, and readers answering through the
+# shared view cache while the writer delta-patches it), the
+# sharded-dictionary tests (concurrent interning, lock-free Name()
+# readers, fresh-blank races), and the view-cache suite (parallel
+# union-query fan-out over the materialized view layer).
 #
 # Usage: scripts/check_tsan.sh [build-dir]
 set -euo pipefail
@@ -14,8 +17,8 @@ build_dir="${1:-$repo_root/build-tsan}"
 
 cmake -B "$build_dir" -S "$repo_root" -DSWDB_SANITIZE=thread
 cmake --build "$build_dir" -j --target parallel_test concurrency_test \
-  core_parallel_test
+  core_parallel_test view_cache_test
 ctest --test-dir "$build_dir" --output-on-failure \
-  -R '^(parallel|concurrency|core_parallel)_test$'
+  -R '^(parallel|concurrency|core_parallel|view_cache)_test$'
 
 echo "tsan: concurrency suites passed"

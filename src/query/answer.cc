@@ -40,6 +40,12 @@ Result<std::vector<Graph>> QueryEvaluator::PreAnswer(const Query& q,
 
 Result<std::vector<Graph>> QueryEvaluator::PreAnswerPrenormalized(
     const Query& q, const Graph& target) {
+  return PreAnswerPrenormalized(q, target, /*matchings_out=*/nullptr);
+}
+
+Result<std::vector<Graph>> QueryEvaluator::PreAnswerPrenormalized(
+    const Query& q, const Graph& target,
+    std::vector<TermMap>* matchings_out) {
   Status valid = q.Validate();
   if (!valid.ok()) return valid;
 
@@ -48,44 +54,52 @@ Result<std::vector<Graph>> QueryEvaluator::PreAnswerPrenormalized(
   std::vector<Graph> answers;
   PatternMatcher matcher(q.body, &target, options_.match);
   Status status = matcher.Enumerate([&](const TermMap& v) {
-    // Constraints: every constrained variable bound to a non-blank.
-    for (Term c : q.constraints) {
-      if (v.Apply(c).IsBlank()) return true;
-    }
-    // Skolem arguments: the valuation of all body variables, in sorted
-    // variable order (the tuple (v(?X1), ..., v(?Xk)) of Def. 4.3).
-    std::vector<Term> args;
-    args.reserve(body_vars.size());
-    for (Term var : body_vars) args.push_back(v.Apply(var));
-
-    // Build v(H): substitute variables, Skolemize head blanks.
-    std::vector<Triple> triples;
-    triples.reserve(q.head.size());
-    bool well_formed = true;
-    for (const Triple& t : q.head) {
-      auto value = [&](Term x) {
-        if (x.IsVar()) return v.Apply(x);
-        if (x.IsBlank()) return SkolemBlank(x, args);
-        return x;
-      };
-      Triple image(value(t.s), value(t.p), value(t.o));
-      if (!image.IsWellFormedData()) {
-        well_formed = false;
-        break;
-      }
-      triples.push_back(image);
-    }
-    if (well_formed) answers.emplace_back(std::move(triples));
+    if (!q.SatisfiesConstraints(v)) return true;
+    if (matchings_out != nullptr) matchings_out->push_back(v);
+    std::optional<Graph> answer = AnswerFromMatching(q, body_vars, v);
+    if (answer.has_value()) answers.push_back(*std::move(answer));
     return true;
   });
   if (!status.ok()) return status;
 
+  if (matchings_out != nullptr) {
+    // Distinct matchings have distinct body-variable tuples (a matching
+    // is its tuple), so this order is total and reproducible.
+    std::sort(matchings_out->begin(), matchings_out->end(),
+              [&body_vars](const TermMap& a, const TermMap& b) {
+                return ValuationLess(a, b, body_vars);
+              });
+  }
   std::sort(answers.begin(), answers.end(),
             [](const Graph& a, const Graph& b) {
               return a.triples() < b.triples();
             });
   answers.erase(std::unique(answers.begin(), answers.end()), answers.end());
   return answers;
+}
+
+std::optional<Graph> QueryEvaluator::AnswerFromMatching(
+    const Query& q, const std::vector<Term>& body_vars, const TermMap& v) {
+  // Skolem arguments: the valuation of all body variables, in sorted
+  // variable order (the tuple (v(?X1), ..., v(?Xk)) of Def. 4.3).
+  std::vector<Term> args;
+  args.reserve(body_vars.size());
+  for (Term var : body_vars) args.push_back(v.Apply(var));
+
+  // Build v(H): substitute variables, Skolemize head blanks.
+  std::vector<Triple> triples;
+  triples.reserve(q.head.size());
+  for (const Triple& t : q.head) {
+    auto value = [&](Term x) {
+      if (x.IsVar()) return v.Apply(x);
+      if (x.IsBlank()) return SkolemBlank(x, args);
+      return x;
+    };
+    Triple image(value(t.s), value(t.p), value(t.o));
+    if (!image.IsWellFormedData()) return std::nullopt;
+    triples.push_back(image);
+  }
+  return Graph(std::move(triples));
 }
 
 Result<std::vector<TermMap>> QueryEvaluator::Matchings(const Query& q,
@@ -98,9 +112,7 @@ Result<std::vector<TermMap>> QueryEvaluator::Matchings(const Query& q,
   std::vector<TermMap> matchings;
   PatternMatcher matcher(q.body, &target, options_.match);
   Status status = matcher.Enumerate([&](const TermMap& v) {
-    for (Term c : q.constraints) {
-      if (v.Apply(c).IsBlank()) return true;
-    }
+    if (!q.SatisfiesConstraints(v)) return true;
     matchings.push_back(v);
     return true;
   });
@@ -108,14 +120,19 @@ Result<std::vector<TermMap>> QueryEvaluator::Matchings(const Query& q,
 
   std::sort(matchings.begin(), matchings.end(),
             [&body_vars](const TermMap& a, const TermMap& b) {
-              for (Term var : body_vars) {
-                if (a.Apply(var) != b.Apply(var)) {
-                  return a.Apply(var) < b.Apply(var);
-                }
-              }
-              return false;
+              return ValuationLess(a, b, body_vars);
             });
   return matchings;
+}
+
+bool ValuationLess(const TermMap& a, const TermMap& b,
+                   const std::vector<Term>& vars) {
+  for (Term var : vars) {
+    const Term av = a.Apply(var);
+    const Term bv = b.Apply(var);
+    if (av != bv) return av < bv;
+  }
+  return false;
 }
 
 Result<Graph> QueryEvaluator::AnswerUnion(const Query& q, const Graph& db) {

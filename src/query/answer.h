@@ -4,11 +4,13 @@
 #include <cstddef>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "query/query.h"
+#include "query/view_cache.h"
 #include "rdf/hom.h"
 #include "util/hash.h"
 #include "util/status.h"
@@ -24,6 +26,9 @@ struct EvalOptions {
   /// database equivalence; this switch exists so benches and tests can
   /// exhibit the difference (closure is cheaper but syntax dependent).
   bool use_closure_only = false;
+  /// Materialized pre-answer view layer (Database/DatabaseSnapshot
+  /// only; bare evaluator calls never cache).
+  ViewCacheOptions views;
 };
 
 /// Evaluates queries over databases with the semantics of §4.1:
@@ -52,6 +57,24 @@ class QueryEvaluator {
   Result<std::vector<Graph>> PreAnswerPrenormalized(const Query& q,
                                                     const Graph& normalized);
 
+  /// As above, additionally capturing every constraint-satisfying body
+  /// valuation in ValuationLess order when matchings_out is non-null —
+  /// the materialization entry point of the view layer (the stored
+  /// matchings are what delta maintenance patches).
+  Result<std::vector<Graph>> PreAnswerPrenormalized(
+      const Query& q, const Graph& normalized,
+      std::vector<TermMap>* matchings_out);
+
+  /// v(H) for one constraint-passing body valuation: substitutes
+  /// variables, Skolemizes head blanks from the sorted-body-variable
+  /// argument tuple, and returns nullopt when the image is not a
+  /// well-formed data graph. Deterministic given the Skolem cache state;
+  /// the view cache re-derives patched answers through this so cached
+  /// and from-scratch answers stay bit-identical.
+  std::optional<Graph> AnswerFromMatching(const Query& q,
+                                          const std::vector<Term>& body_vars,
+                                          const TermMap& v);
+
   /// The raw matchings: every constraint-satisfying valuation of the
   /// body variables (Def. 4.3's v), as variable→term maps in
   /// deterministic order. This is the SquishQL-style "table of
@@ -66,6 +89,8 @@ class QueryEvaluator {
   /// ans+(q, D): the merge of all single answers — blank nodes renamed
   /// apart so no two single answers share any.
   Result<Graph> AnswerMerge(const Query& q, const Graph& db);
+
+  const EvalOptions& options() const { return options_; }
 
  private:
   // f_N(args) key: the head blank plus the body-valuation tuple, with
@@ -101,6 +126,12 @@ class QueryEvaluator {
   std::mutex skolem_mu_;
   std::unordered_map<SkolemKey, Term, SkolemKeyHash> skolem_cache_;
 };
+
+/// Lexicographic order of two valuations on `vars` — the deterministic
+/// storage order of captured matchings (Matchings() and the view cache
+/// both sort by it).
+bool ValuationLess(const TermMap& a, const TermMap& b,
+                   const std::vector<Term>& vars);
 
 }  // namespace swdb
 

@@ -4,6 +4,8 @@
 #include "normal/core.h"
 #include "normal/normal_form.h"
 #include "parser/text.h"
+#include "query/union_query.h"
+#include "query/view_key.h"
 #include "rdf/map.h"
 #include "util/check.h"
 #include "util/lock_rank.h"
@@ -22,10 +24,38 @@ ThreadPool* CorePool(const EvalOptions& options) {
                                        : ThreadPool::Shared();
 }
 
+// Whether evaluating q can mint fresh blank nodes: premise-bearing
+// queries merge P with renamed blanks, head blanks Skolemize. Mint
+// *order* determines the minted ids, so such branches must be evaluated
+// in a deterministic order (the union fan-out keeps them sequential).
+bool QueryMintsBlanks(const Query& q) {
+  if (!q.premise.empty()) return true;
+  for (const Triple& t : q.head) {
+    if (t.s.IsBlank() || t.p.IsBlank() || t.o.IsBlank()) return true;
+  }
+  return false;
+}
+
+// Whether the query body contains blank nodes. PatternMatcher maps
+// pattern blanks homomorphically (open terms, like variables), so a
+// stored matching over the body *variables* does not pin where a body
+// blank went — neither the view cache's kept-filter nor its semi-naive
+// patch can maintain such a view soundly. These shapes bypass the cache
+// and always evaluate.
+bool BodyHasBlanks(const Query& q) {
+  for (const Triple& t : q.body) {
+    if (t.s.IsBlank() || t.p.IsBlank() || t.o.IsBlank()) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 Database::Database(Dictionary* dict, EvalOptions options)
-    : dict_(dict), evaluator_(dict, options), options_(options) {}
+    : dict_(dict),
+      evaluator_(dict, options),
+      options_(options),
+      view_cache_(options.views) {}
 
 bool Database::Insert(const Triple& t) {
   std::lock_guard<std::mutex> lock(write_mu_);
@@ -61,6 +91,10 @@ void Database::InsertGraph(const Graph& g) {
     closure_.reset();
     normalized_.reset();
     lean_cache_.Clear(0);  // next full build re-seeds the version
+    // The closure incarnation (and its version counter) is gone; the
+    // view cache's Clear bumps its fence stamp so counter reuse by the
+    // next incarnation can never revalidate an old consumer.
+    view_cache_.Clear();
     ++stats_.closure_bulk_resets;
   } else {
     MaintainInsert(delta);
@@ -142,6 +176,9 @@ void Database::MaintainErase(const Graph& deleted) {
   // the fence stamp.
   if (closure_->version() != version_before) {
     lean_cache_.OnEraseDelta(closure_->version());
+    // Views are patched by the nf delta on the next Maintain; the stamp
+    // bump only fences pre-erase snapshots out of post-erase entries.
+    view_cache_.OnErase();
   }
 }
 
@@ -151,6 +188,7 @@ DatabaseStats Database::CollectStats() const {
   if (closure_.has_value()) out.closure_graph = closure_->closure().Stats();
   out.dictionary = dict_->Stats();
   out.lean_cache = lean_cache_.stats();
+  out.views = view_cache_.stats();
   return out;
 }
 
@@ -159,6 +197,7 @@ const Graph& Database::Closure() {
     closure_.emplace(data_);
     closure_epoch_ = data_.epoch();
     lean_cache_.Clear(closure_->version());  // fresh closure incarnation
+    view_cache_.Clear();
     ++stats_.closure_full_builds;
   } else {
     SWDB_CHECK(closure_epoch_ == data_.epoch(),
@@ -205,13 +244,128 @@ bool Database::EntailsTriple(const Triple& t) {
 }
 
 Result<std::vector<Graph>> Database::PreAnswer(const Query& q) {
-  if (q.premise.empty()) {
-    return evaluator_.PreAnswerPrenormalized(q, Normalized());
+  Status valid = q.Validate();
+  if (!valid.ok()) return valid;
+  if (!q.premise.empty()) {
+    // Premise-bearing: the D + P merge mints fresh blank nodes per
+    // call, so the answers are not replayable — never cached.
+    return evaluator_.PreAnswer(q, data_);
   }
-  return evaluator_.PreAnswer(q, data_);
+  const Graph& nf = Normalized();
+  if (!options_.views.enabled || BodyHasBlanks(q)) {
+    return evaluator_.PreAnswerPrenormalized(q, nf);
+  }
+  // Maintain before lookup: bringing every view to the current nf by
+  // its delta is what turns post-mutation requests into hits. The
+  // writer's (version, stamp) are by definition the cache's fence.
+  const uint64_t version = closure_->version();
+  view_cache_.Maintain(nf, version, view_cache_.erase_stamp(), &evaluator_,
+                       options_.match);
+  return PreAnswerThroughCache(q, nf, version);
+}
+
+Result<std::vector<Graph>> Database::PreAnswerThroughCache(const Query& q,
+                                                           const Graph& nf,
+                                                           uint64_t version) {
+  CanonicalQuery canon;
+  const ViewKey key = MakeViewKey(q, &canon);
+  const uint64_t stamp = view_cache_.erase_stamp();
+  if (std::optional<std::vector<Graph>> hit =
+          view_cache_.Lookup(key, version, stamp)) {
+    return *std::move(hit);
+  }
+  // Fallthrough: evaluate the canonical spelling (bit-identical answers
+  // — see CanonicalQuery), capturing matchings when the advisor decides
+  // this shape has earned materialization.
+  const bool materialize = view_cache_.RecordMiss(key);
+  std::vector<TermMap> matchings;
+  Result<std::vector<Graph>> pre = evaluator_.PreAnswerPrenormalized(
+      canon.query, nf, materialize ? &matchings : nullptr);
+  if (!pre.ok()) return pre;
+  if (materialize) {
+    view_cache_.Install(key, canon.query, std::move(matchings), *pre,
+                        version, stamp);
+  }
+  return pre;
+}
+
+Result<std::vector<Graph>> Database::PreAnswer(const UnionQuery& q) {
+  Status valid = q.Validate();
+  if (!valid.ok()) return valid;
+  bool any_premise_free = false;
+  for (const Query& branch : q.branches) {
+    if (branch.premise.empty()) any_premise_free = true;
+  }
+  const Graph* nf = nullptr;
+  uint64_t version = 0;
+  if (any_premise_free) {
+    nf = &Normalized();
+    version = closure_->version();
+    if (options_.views.enabled) {
+      view_cache_.Maintain(*nf, version, view_cache_.erase_stamp(),
+                           &evaluator_, options_.match);
+    }
+    // Branch tasks share nf read-only; build its permutations up front
+    // so no two tasks race the lazy index build.
+    nf->WarmIndexes();
+  }
+
+  auto eval_branch = [&](const Query& branch) -> Result<std::vector<Graph>> {
+    if (!branch.premise.empty()) return evaluator_.PreAnswer(branch, data_);
+    if (!options_.views.enabled || BodyHasBlanks(branch)) {
+      return evaluator_.PreAnswerPrenormalized(branch, *nf);
+    }
+    return PreAnswerThroughCache(branch, *nf, version);
+  };
+
+  const size_t n = q.branches.size();
+  std::vector<std::optional<Result<std::vector<Graph>>>> parts(n);
+  ThreadPool* pool = options_.match.pool;
+  if (pool != nullptr && n > 1) {
+    // Fan out only branches that cannot mint fresh blanks (premise-free
+    // with blank-free heads): minting order determines blank ids, so
+    // minting branches stay on this thread in branch order — exactly
+    // the sequential mint sequence. With the pinned merge below, the
+    // result is bit-identical at any worker count.
+    TaskGroup group(pool);
+    for (size_t i = 0; i < n; ++i) {
+      if (!QueryMintsBlanks(q.branches[i])) {
+        group.Run([&, i] { parts[i].emplace(eval_branch(q.branches[i])); });
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (QueryMintsBlanks(q.branches[i])) {
+        parts[i].emplace(eval_branch(q.branches[i]));
+      }
+    }
+    group.Wait();
+  } else {
+    for (size_t i = 0; i < n; ++i) parts[i].emplace(eval_branch(q.branches[i]));
+  }
+
+  std::vector<Graph> all;
+  for (size_t i = 0; i < n; ++i) {
+    // First error in branch order wins — same status the sequential
+    // loop would have returned.
+    if (!parts[i]->ok()) return parts[i]->status();
+    all.insert(all.end(), (*parts[i])->begin(), (*parts[i])->end());
+  }
+  std::sort(all.begin(), all.end(), [](const Graph& a, const Graph& b) {
+    return a.triples() < b.triples();
+  });
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
 }
 
 Result<Graph> Database::AnswerUnion(const Query& q) {
+  Result<std::vector<Graph>> pre = PreAnswer(q);
+  if (!pre.ok()) return pre.status();
+  Graph out;
+  for (const Graph& answer : *pre) out.InsertAll(answer);
+  return out;
+}
+
+Result<Graph> Database::AnswerUnion(const UnionQuery& q) {
   Result<std::vector<Graph>> pre = PreAnswer(q);
   if (!pre.ok()) return pre.status();
   Graph out;
@@ -281,7 +435,9 @@ void Database::PublishSnapshotLocked() {
   std::shared_ptr<const DatabaseSnapshot> snap(new DatabaseSnapshot(
       data_.epoch(), std::move(data), std::move(cl), &evaluator_, options_,
       CorePool(options_), &stats_,
-      LeanCacheRef{&lean_cache_, closure_->version(), lc.erase_stamp}));
+      LeanCacheRef{&lean_cache_, closure_->version(), lc.erase_stamp},
+      ViewCacheRef{options_.views.enabled ? &view_cache_ : nullptr,
+                   closure_->version(), view_cache_.erase_stamp()}));
   std::lock_guard<std::mutex> snap_lock(snapshot_mu_);
   LockRankScope snap_rank(kLockRankSnapshot);
   // COW observability: compare the outgoing snapshot's leaves against
@@ -329,12 +485,46 @@ bool DatabaseSnapshot::Entails(const Graph& q) const {
 }
 
 Result<std::vector<Graph>> DatabaseSnapshot::PreAnswer(const Query& q) const {
-  if (q.premise.empty()) {
+  if (!q.premise.empty()) {
+    // Premise-bearing: merges into the dictionary — see the class
+    // comment for the synchronization requirement.
+    return evaluator_->PreAnswer(q, *data_);
+  }
+  if (views_.cache == nullptr || BodyHasBlanks(q)) {
     return evaluator_->PreAnswerPrenormalized(q, normalized());
   }
-  // Premise-bearing: merges into the dictionary — see the class comment
-  // for the synchronization requirement.
-  return evaluator_->PreAnswer(q, *data_);
+  CanonicalQuery canon;
+  const ViewKey key = MakeViewKey(q, &canon);
+  // First probe before touching normalized(): a hit skips the lazy nf
+  // build entirely — the common case for a fresh snapshot of a hot
+  // shape.
+  if (std::optional<std::vector<Graph>> hit =
+          views_.cache->Lookup(key, views_.version, views_.erase_stamp)) {
+    return *std::move(hit);
+  }
+  const Graph& nf = normalized();
+  // A current snapshot (stamp matches) that is ahead of the cache's
+  // base advances it by the nf delta, then re-probes — the same
+  // maintain-then-look path the writer takes. Lagging snapshots fall
+  // straight through (Maintain fences them out).
+  views_.cache->Maintain(nf, views_.version, views_.erase_stamp, evaluator_,
+                         options_.match);
+  if (std::optional<std::vector<Graph>> hit =
+          views_.cache->Lookup(key, views_.version, views_.erase_stamp)) {
+    return *std::move(hit);
+  }
+  const bool materialize = views_.cache->RecordMiss(key);
+  std::vector<TermMap> matchings;
+  Result<std::vector<Graph>> pre = evaluator_->PreAnswerPrenormalized(
+      canon.query, nf, materialize ? &matchings : nullptr);
+  if (!pre.ok()) return pre;
+  if (materialize) {
+    // Installed at this snapshot's captured (version, stamp); the write
+    // rule drops the offer when the writer has moved past it.
+    views_.cache->Install(key, canon.query, std::move(matchings), *pre,
+                          views_.version, views_.erase_stamp);
+  }
+  return pre;
 }
 
 }  // namespace swdb

@@ -19,6 +19,8 @@
 
 namespace swdb {
 
+struct UnionQuery;
+
 /// Observability counters for the incremental maintenance engine. All
 /// counters are cumulative since construction (or ResetStats).
 ///
@@ -71,6 +73,10 @@ struct DatabaseStats {
   /// Cross-epoch proven-lean cache counters; plain snapshot filled by
   /// CollectStats.
   LeanCacheStats lean_cache;
+  /// Materialized pre-answer view layer counters (hits, misses, patches,
+  /// invalidations, advisor promotions); plain snapshot filled by
+  /// CollectStats.
+  ViewCacheStats views;
 
   DatabaseStats() = default;
   DatabaseStats(const DatabaseStats& o) { *this = o; }
@@ -108,6 +114,7 @@ struct DatabaseStats {
     closure_graph = o.closure_graph;
     dictionary = o.dictionary;
     lean_cache = o.lean_cache;
+    views = o.views;
     return *this;
   }
 };
@@ -169,8 +176,14 @@ class DatabaseSnapshot {
   bool EntailsTriple(const Triple& t) const;
   /// RDFS entailment D ⊨ q against the frozen closure.
   bool Entails(const Graph& q) const;
-  /// Single answers of a premise-free query against nf(D); see the
-  /// class comment for the premise-bearing caveat.
+  /// Single answers of a premise-free query against nf(D), served from
+  /// the owning Database's view cache when a view valid for this
+  /// snapshot's (closure version, erase stamp) exists — a hit skips
+  /// even the lazy nf build. On a miss the snapshot evaluates against
+  /// its own nf and, when the advisor promotes the shape, offers the
+  /// view back at its captured version (the cache's write rule drops
+  /// the offer if the writer has moved on). See the class comment for
+  /// the premise-bearing caveat.
   Result<std::vector<Graph>> PreAnswer(const Query& q) const;
 
  private:
@@ -179,7 +192,7 @@ class DatabaseSnapshot {
                    std::shared_ptr<const Graph> closure,
                    QueryEvaluator* evaluator, EvalOptions options,
                    ThreadPool* pool, DatabaseStats* stats,
-                   LeanCacheRef lean_cache)
+                   LeanCacheRef lean_cache, ViewCacheRef views)
       : epoch_(epoch),
         data_(std::move(data)),
         closure_(std::move(closure)),
@@ -187,7 +200,8 @@ class DatabaseSnapshot {
         options_(options),
         pool_(pool),
         stats_(stats),
-        lean_cache_(lean_cache) {}
+        lean_cache_(lean_cache),
+        views_(views) {}
 
   uint64_t epoch_;
   std::shared_ptr<const Graph> data_;
@@ -201,6 +215,10 @@ class DatabaseSnapshot {
   // normalized() build consults it and offers its refutations back
   // (the cache's write rule drops them if the writer has moved on).
   LeanCacheRef lean_cache_;
+  // The owning Database's view cache, addressed at this snapshot's
+  // (closure version, erase stamp); null cache when the view layer is
+  // disabled.
+  ViewCacheRef views_;
 
   mutable std::once_flag normalized_once_;
   mutable std::optional<Graph> normalized_;
@@ -277,11 +295,25 @@ class Database {
   /// common case.
   bool EntailsTriple(const Triple& t);
 
-  /// Single answers of a query (§4.1).
+  /// Single answers of a query (§4.1). Premise-free queries route
+  /// through the materialized view layer (EvalOptions::views): lookup →
+  /// delta maintenance → matcher fallthrough, with answers bit-identical
+  /// to the uncached path. Premise-bearing queries always evaluate (the
+  /// D + P merge mints fresh blanks per call, so those answers are not
+  /// replayable).
   Result<std::vector<Graph>> PreAnswer(const Query& q);
-  /// ans∪(q, D).
+  /// Pre-answers of a union query: branch pre-answers (each routed
+  /// through the view layer), concatenated, sorted, deduplicated. With a
+  /// MatchOptions::pool, branches fan out over it with pinned merge
+  /// order — the result is bit-identical at any worker count.
+  Result<std::vector<Graph>> PreAnswer(const UnionQuery& q);
+  /// ans∪(q, D). Shares one PreAnswer materialization with any earlier
+  /// PreAnswer/AnswerMerge of the same shape through the view layer
+  /// instead of re-running the matcher.
   Result<Graph> AnswerUnion(const Query& q);
-  /// ans+(q, D).
+  /// ans∪ of a union query (branches through the view layer).
+  Result<Graph> AnswerUnion(const UnionQuery& q);
+  /// ans+(q, D); shares the PreAnswer materialization like AnswerUnion.
   Result<Graph> AnswerMerge(const Query& q);
   /// Parses the query text and evaluates under union semantics.
   Result<Graph> ExecuteQuery(std::string_view query_text);
@@ -293,6 +325,12 @@ class Database {
   /// returns, so a snapshot taken after a mutation completes reflects
   /// at least that mutation.
   std::shared_ptr<const DatabaseSnapshot> Snapshot();
+
+  /// The database's evaluator — the Skolem-function identity every
+  /// cached and uncached answer path shares (Prop. 4.5). Tests use it to
+  /// cross-check view-cache replays against from-scratch evaluation
+  /// with bit-identical minted blanks.
+  QueryEvaluator* evaluator() { return &evaluator_; }
 
   /// Maintenance-engine counters.
   const DatabaseStats& stats() const { return stats_; }
@@ -306,6 +344,14 @@ class Database {
   // Incremental maintenance steps; no-ops while no closure is cached.
   void MaintainInsert(const Graph& delta);
   void MaintainErase(const Graph& deleted);
+  // The view-layer read path for one premise-free query against the
+  // current nf (already maintained to `version`): lookup → advisor →
+  // matcher fallthrough → install. Safe to call concurrently from the
+  // union-query fan-out (cache methods lock; the evaluator and nf are
+  // shared read-only).
+  Result<std::vector<Graph>> PreAnswerThroughCache(const Query& q,
+                                                   const Graph& nf,
+                                                   uint64_t version);
   // Builds a snapshot of the current state and publishes it under
   // snapshot_mu_. Caller holds write_mu_.
   void PublishSnapshotLocked();
@@ -328,6 +374,12 @@ class Database {
   // consumed by the writer's Normalized() and by every snapshot's lazy
   // normalized() build; invalidated here on closure maintenance.
   LeanCache lean_cache_;
+
+  // Materialized pre-answer views (see ViewCache): consulted by the
+  // writer's PreAnswer and by every snapshot's, delta-patched against
+  // each new nf, fully cleared whenever the closure incarnation is
+  // dropped (bulk resets), and erase-fenced in step with lean_cache_.
+  ViewCache view_cache_;
 
   // Concurrent read path: mutators hold write_mu_ end to end and, once
   // snapshots_on_, republish before releasing it. snapshot_ is guarded

@@ -42,6 +42,13 @@ Status Query::Validate() const {
   return Status::OK();
 }
 
+bool Query::SatisfiesConstraints(const TermMap& v) const {
+  for (Term c : constraints) {
+    if (v.Apply(c).IsBlank()) return false;
+  }
+  return true;
+}
+
 Query Query::Identity(Dictionary* dict) {
   Term x = dict->Var("X");
   Term y = dict->Var("Y");

@@ -29,6 +29,10 @@ struct Query {
   /// constraint is a variable of the head.
   Status Validate() const;
 
+  /// True when the valuation v satisfies C: every constrained variable
+  /// is bound to a non-blank term (Def. 4.3's side condition).
+  bool SatisfiesConstraints(const TermMap& v) const;
+
   /// The identity query (?X,?Y,?Z) ← (?X,?Y,?Z) (paper Note 4.7);
   /// variables interned in dict.
   static Query Identity(Dictionary* dict);

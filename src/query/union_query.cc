@@ -1,11 +1,28 @@
 #include "query/union_query.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "query/containment.h"
 #include "query/premise.h"
+#include "util/thread_pool.h"
 
 namespace swdb {
+
+namespace {
+
+// Whether evaluating this branch can mint fresh blank nodes (premise
+// merge or head-blank Skolemization). Mint order determines the minted
+// ids, so such branches are kept sequential in the fan-out below.
+bool BranchMintsBlanks(const Query& q) {
+  if (!q.premise.empty()) return true;
+  for (const Triple& t : q.head) {
+    if (t.s.IsBlank() || t.p.IsBlank() || t.o.IsBlank()) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 Status UnionQuery::Validate() const {
   for (const Query& q : branches) {
@@ -32,23 +49,55 @@ Result<UnionQuery> UnionQuery::FromPremiseQuery(const Query& q,
 
 Result<Graph> AnswerUnionQuery(QueryEvaluator* evaluator,
                                const UnionQuery& q, const Graph& db) {
+  // The union over branches of their ans∪ equals the union of all
+  // branch pre-answers, so this shares PreAnswerUnionQuery's parallel
+  // fan-out instead of looping sequentially.
+  Result<std::vector<Graph>> pre = PreAnswerUnionQuery(evaluator, q, db);
+  if (!pre.ok()) return pre.status();
   Graph out;
-  for (const Query& branch : q.branches) {
-    Result<Graph> part = evaluator->AnswerUnion(branch, db);
-    if (!part.ok()) return part.status();
-    out.InsertAll(*part);
-  }
+  for (const Graph& answer : *pre) out.InsertAll(answer);
   return out;
 }
 
 Result<std::vector<Graph>> PreAnswerUnionQuery(QueryEvaluator* evaluator,
                                                const UnionQuery& q,
                                                const Graph& db) {
+  const size_t n = q.branches.size();
+  std::vector<std::optional<Result<std::vector<Graph>>>> parts(n);
+  ThreadPool* pool = evaluator->options().match.pool;
+  if (pool != nullptr && n > 1) {
+    // Fan out the branches that cannot mint blanks; minting branches
+    // (premise merges, head-blank Skolemization) stay on this thread in
+    // branch order so the minted ids match the sequential run. Each
+    // branch normalizes db + P itself, so there is no shared mutable
+    // state beyond the internally synchronized dictionary and Skolem
+    // cache.
+    TaskGroup group(pool);
+    for (size_t i = 0; i < n; ++i) {
+      if (!BranchMintsBlanks(q.branches[i])) {
+        group.Run([&parts, evaluator, &q, &db, i] {
+          parts[i].emplace(evaluator->PreAnswer(q.branches[i], db));
+        });
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (BranchMintsBlanks(q.branches[i])) {
+        parts[i].emplace(evaluator->PreAnswer(q.branches[i], db));
+      }
+    }
+    group.Wait();
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      parts[i].emplace(evaluator->PreAnswer(q.branches[i], db));
+    }
+  }
+
   std::vector<Graph> all;
-  for (const Query& branch : q.branches) {
-    Result<std::vector<Graph>> part = evaluator->PreAnswer(branch, db);
-    if (!part.ok()) return part.status();
-    all.insert(all.end(), part->begin(), part->end());
+  for (size_t i = 0; i < n; ++i) {
+    // Pinned merge order: first error in branch order wins, and the
+    // concatenation below is the sequential one.
+    if (!parts[i]->ok()) return parts[i]->status();
+    all.insert(all.end(), (*parts[i])->begin(), (*parts[i])->end());
   }
   std::sort(all.begin(), all.end(), [](const Graph& a, const Graph& b) {
     return a.triples() < b.triples();
