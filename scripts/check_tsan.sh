@@ -6,8 +6,10 @@
 # against the call_once core build, and readers answering through the
 # shared view cache while the writer delta-patches it), the
 # sharded-dictionary tests (concurrent interning, lock-free Name()
-# readers, fresh-blank races), and the view-cache suite (parallel
-# union-query fan-out over the materialized view layer).
+# readers, fresh-blank races), the view-cache suite (parallel
+# union-query fan-out over the materialized view layer), and the batch
+# suite (trie root subtrees fanned over the pool while the calling
+# thread runs the minting jobs).
 #
 # Usage: scripts/check_tsan.sh [build-dir]
 set -euo pipefail
@@ -17,8 +19,8 @@ build_dir="${1:-$repo_root/build-tsan}"
 
 cmake -B "$build_dir" -S "$repo_root" -DSWDB_SANITIZE=thread
 cmake --build "$build_dir" -j --target parallel_test concurrency_test \
-  core_parallel_test view_cache_test
+  core_parallel_test view_cache_test batch_test
 ctest --test-dir "$build_dir" --output-on-failure \
-  -R '^(parallel|concurrency|core_parallel|view_cache)_test$'
+  -R '^(parallel|concurrency|core_parallel|view_cache|batch)_test$'
 
 echo "tsan: concurrency suites passed"

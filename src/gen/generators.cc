@@ -1,6 +1,8 @@
 #include "gen/generators.h"
 
 #include <string>
+#include <unordered_set>
+#include <utility>
 
 #include "inference/rules.h"
 #include "util/str.h"
@@ -164,6 +166,139 @@ Query PatternQueryFromGraph(const Graph& data, uint32_t body_size,
   }
   q.head = q.body;
   return q;
+}
+
+namespace {
+
+// Samples `count` triples from data, biased toward connectivity: after
+// the first, each pick retries a few times for a triple sharing a term
+// with one already chosen, falling back to a random triple.
+std::vector<Triple> SampleConnectedTriples(const Graph& data, uint32_t count,
+                                           Rng* rng) {
+  std::vector<Triple> chosen;
+  std::unordered_set<Term> seen_terms;
+  auto note = [&](const Triple& t) {
+    chosen.push_back(t);
+    seen_terms.insert(t.s);
+    seen_terms.insert(t.p);
+    seen_terms.insert(t.o);
+  };
+  note(data[rng->Below(data.size())]);
+  while (chosen.size() < count) {
+    Triple pick = data[rng->Below(data.size())];
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      Triple t = data[rng->Below(data.size())];
+      if (seen_terms.count(t.s) || seen_terms.count(t.o)) {
+        pick = t;
+        break;
+      }
+    }
+    note(pick);
+  }
+  return chosen;
+}
+
+// Renames every variable of q consistently to fresh "<tag>_<k>" names,
+// producing a ViewKey-isomorphic respelling.
+Query RespellVariables(const Query& q, const std::string& tag,
+                       Dictionary* dict) {
+  std::unordered_map<Term, Term> rename;
+  uint32_t counter = 0;
+  auto fresh = [&](Term t) -> Term {
+    if (!t.IsVar()) return t;
+    auto it = rename.find(t);
+    if (it != rename.end()) return it->second;
+    Term v = dict->Var(tag + "_" + std::to_string(counter++));
+    rename.emplace(t, v);
+    return v;
+  };
+  Query out;
+  for (const Triple& t : q.body.triples()) {
+    out.body.Insert(fresh(t.s), fresh(t.p), fresh(t.o));
+  }
+  for (const Triple& t : q.head.triples()) {
+    out.head.Insert(fresh(t.s), fresh(t.p), fresh(t.o));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Query> OverlappingQueryMix(const Graph& data,
+                                       const QueryMixSpec& spec,
+                                       Dictionary* dict, Rng* rng) {
+  std::vector<Query> out;
+  if (data.empty()) return out;
+  for (uint32_t f = 0; f < spec.num_families; ++f) {
+    // The family fixes its prefix patterns once — variants reuse the
+    // exact same Triple values (same Var terms), so their ordered bodies
+    // align on this prefix by construction. Each query scopes its own
+    // variables, so reusing names across queries is harmless.
+    std::unordered_map<Term, Term> to_var;
+    uint32_t var_counter = 0;
+    auto varify = [&](Term t, bool is_predicate, const std::string& scope) {
+      auto it = to_var.find(t);
+      if (it != to_var.end()) return it->second;
+      // Blank nodes cannot appear in bodies; always replace them.
+      bool replace = t.IsBlank() || rng->Chance(spec.var_ratio);
+      // Keep predicates concrete to produce selective, alignable prefixes.
+      if (is_predicate && !t.IsBlank()) replace = false;
+      if (!replace) return t;
+      Term v = dict->Var(scope + "_" + std::to_string(var_counter++));
+      to_var.emplace(t, v);
+      return v;
+    };
+    std::vector<Triple> prefix_data =
+        SampleConnectedTriples(data, spec.prefix_size, rng);
+    std::string family_scope = NumberedName("f", f);
+    std::vector<Triple> prefix_patterns;
+    std::unordered_set<Term> prefix_terms;
+    for (const Triple& t : prefix_data) {
+      prefix_patterns.emplace_back(varify(t.s, false, family_scope),
+                                   varify(t.p, true, family_scope),
+                                   varify(t.o, false, family_scope));
+      prefix_terms.insert(t.s);
+      prefix_terms.insert(t.o);
+    }
+    std::vector<Query> family;
+    for (uint32_t v = 0; v < spec.queries_per_family; ++v) {
+      if (!family.empty() && rng->Chance(spec.isomorphic_fraction)) {
+        out.push_back(RespellVariables(family[rng->Below(family.size())],
+                                       family_scope + NumberedName("r", v),
+                                       dict));
+        continue;
+      }
+      // Variant-specific suffix: sampled connected to the prefix terms
+      // and varified through the family map (shared data terms join the
+      // suffix to the prefix variables), with fresh terms scoped to the
+      // variant. Restore the family map afterwards so variants stay
+      // independent.
+      std::unordered_map<Term, Term> family_map = to_var;
+      uint32_t family_counter = var_counter;
+      Query q;
+      for (const Triple& t : prefix_patterns) q.body.Insert(t);
+      std::string variant_scope = family_scope + NumberedName("v", v);
+      for (uint32_t s = 0; s < spec.suffix_size; ++s) {
+        Triple pick = data[rng->Below(data.size())];
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          Triple t = data[rng->Below(data.size())];
+          if (prefix_terms.count(t.s) || prefix_terms.count(t.o)) {
+            pick = t;
+            break;
+          }
+        }
+        q.body.Insert(varify(pick.s, false, variant_scope),
+                      varify(pick.p, true, variant_scope),
+                      varify(pick.o, false, variant_scope));
+      }
+      to_var = std::move(family_map);
+      var_counter = family_counter;
+      q.head = q.body;
+      family.push_back(q);
+      out.push_back(q);
+    }
+  }
+  return out;
 }
 
 Graph EquivalentMutation(const Graph& g, uint32_t mutations,

@@ -67,6 +67,31 @@ Graph BlankCycle(uint32_t n, Term predicate, Dictionary* dict);
 Query PatternQueryFromGraph(const Graph& data, uint32_t body_size,
                             double var_ratio, Dictionary* dict, Rng* rng);
 
+/// Parameters for an overlapping multi-query workload: num_families
+/// shapes, each spawning queries_per_family variants that share the
+/// family's prefix_size-triple connected body prefix and differ in a
+/// suffix_size-triple residual suffix. An isomorphic_fraction of the
+/// variants are exact variable-respellings of an earlier variant in the
+/// same family (ViewKey-isomorphic, so batch evaluation dedupes them).
+struct QueryMixSpec {
+  uint32_t num_families = 8;
+  uint32_t queries_per_family = 8;
+  uint32_t prefix_size = 2;
+  uint32_t suffix_size = 2;
+  double isomorphic_fraction = 0.25;
+  /// Probability that a non-predicate data term becomes a variable.
+  double var_ratio = 0.6;
+};
+
+/// Generates spec.num_families × spec.queries_per_family premise-free
+/// queries over `data` (head repeats body, so every query is safe and
+/// head-blank-free). Variants of one family literally share the family's
+/// prefix pattern triples, so a shared-prefix trie can align them; each
+/// query has at least one matching in `data` by construction.
+std::vector<Query> OverlappingQueryMix(const Graph& data,
+                                       const QueryMixSpec& spec,
+                                       Dictionary* dict, Rng* rng);
+
 /// Applies `mutations` random equivalence-preserving rewrites to g:
 /// adding a triple derivable from g (rules (2)–(13)) or duplicating a
 /// triple with a fresh blank in a blank position (a specialization-adding

@@ -1,9 +1,12 @@
 #include "query/database.h"
 
+#include <unordered_map>
+
 #include "inference/closure.h"
 #include "normal/core.h"
 #include "normal/normal_form.h"
 #include "parser/text.h"
+#include "query/batch.h"
 #include "query/union_query.h"
 #include "query/view_key.h"
 #include "rdf/map.h"
@@ -47,6 +50,25 @@ bool BodyHasBlanks(const Query& q) {
     if (t.s.IsBlank() || t.p.IsBlank() || t.o.IsBlank()) return true;
   }
   return false;
+}
+
+// Folds one PreAnswerBatch call's counters into the cumulative database
+// stats (relaxed atomics: snapshots call this from reader threads).
+void AccumulateBatchStats(const BatchStats& s, DatabaseStats* out) {
+  const auto add = [](std::atomic<uint64_t>& c, uint64_t v) {
+    c.fetch_add(v, std::memory_order_relaxed);
+  };
+  add(out->batch_calls, 1);
+  add(out->batch_queries, s.queries);
+  add(out->batch_deduped, s.deduped);
+  add(out->batch_premise_fallthroughs, s.premise_fallthroughs);
+  add(out->batch_minting_fallthroughs, s.minting_fallthroughs);
+  add(out->batch_view_hits, s.view_hits);
+  add(out->batch_trie_groups, s.trie_groups);
+  add(out->batch_solo_groups, s.solo_groups);
+  add(out->batch_prefix_hits, s.prefix_hits);
+  add(out->batch_shared_reused, s.shared_bindings_reused);
+  add(out->batch_limit_exceeded, s.limit_exceeded);
 }
 
 }  // namespace
@@ -289,6 +311,42 @@ Result<std::vector<Graph>> Database::PreAnswerThroughCache(const Query& q,
   return pre;
 }
 
+std::vector<Result<std::vector<Graph>>> Database::PreAnswerBatch(
+    const std::vector<Query>& queries, BatchStats* stats_out) {
+  // Pin one nf up front iff some premise-free slot will need it — the
+  // same eager Normalized() the first premise-free call of a sequential
+  // replay performs. All-premise (and all-invalid) batches skip it.
+  bool any_premise_free = false;
+  for (const Query& q : queries) {
+    if (q.premise.empty() && q.Validate().ok()) {
+      any_premise_free = true;
+      break;
+    }
+  }
+  const Graph* nf = nullptr;
+  ViewCacheRef views;  // null cache: view layer off for this batch
+  if (any_premise_free) {
+    nf = &Normalized();
+    if (options_.views.enabled) {
+      const uint64_t version = closure_->version();
+      // Maintain before the batch's lookups, exactly like the
+      // sequential writer path: delta-patching every view to the
+      // current nf is what turns post-mutation batches into hits.
+      view_cache_.Maintain(*nf, version, view_cache_.erase_stamp(),
+                           &evaluator_, options_.match);
+      views = ViewCacheRef{&view_cache_, version, view_cache_.erase_stamp()};
+    }
+  }
+  BatchStats stats;
+  std::vector<Result<std::vector<Graph>>> out = PreAnswerBatchImpl(
+      queries, &evaluator_, [nf]() -> const Graph& { return *nf; },
+      [this](const Query& q) { return evaluator_.PreAnswer(q, data_); },
+      views, options_.match.pool, options_.match, &stats);
+  AccumulateBatchStats(stats, &stats_);
+  if (stats_out != nullptr) *stats_out = stats;
+  return out;
+}
+
 Result<std::vector<Graph>> Database::PreAnswer(const UnionQuery& q) {
   Status valid = q.Validate();
   if (!valid.ok()) return valid;
@@ -319,6 +377,27 @@ Result<std::vector<Graph>> Database::PreAnswer(const UnionQuery& q) {
   };
 
   const size_t n = q.branches.size();
+  // Branch dedupe via the batch path's ViewKey grouping: premise-free
+  // branches canonicalizing to the same key get one evaluation,
+  // replayed per spelling (equal keys share one canonical spelling, so
+  // the replay is bit-identical). Head-blank branches key on their
+  // exact spelling — a sequential re-evaluation of the duplicate would
+  // hit the Skolem cache and mint nothing, so replaying the leader
+  // (which runs first, in branch order) preserves the mint sequence.
+  // Premise-bearing branches never dedupe: Merge mints per call.
+  std::vector<size_t> dup_of(n);
+  std::unordered_map<ViewKey, size_t, ViewKeyHash> leader_of;
+  for (size_t i = 0; i < n; ++i) {
+    dup_of[i] = i;
+    if (!q.branches[i].premise.empty()) continue;
+    ViewKey key = MakeViewKey(q.branches[i]);
+    auto [it, inserted] = leader_of.try_emplace(std::move(key), i);
+    if (!inserted) {
+      dup_of[i] = it->second;
+      stats_.union_branches_deduped.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   std::vector<std::optional<Result<std::vector<Graph>>>> parts(n);
   ThreadPool* pool = options_.match.pool;
   if (pool != nullptr && n > 1) {
@@ -329,18 +408,23 @@ Result<std::vector<Graph>> Database::PreAnswer(const UnionQuery& q) {
     // result is bit-identical at any worker count.
     TaskGroup group(pool);
     for (size_t i = 0; i < n; ++i) {
-      if (!QueryMintsBlanks(q.branches[i])) {
+      if (dup_of[i] == i && !QueryMintsBlanks(q.branches[i])) {
         group.Run([&, i] { parts[i].emplace(eval_branch(q.branches[i])); });
       }
     }
     for (size_t i = 0; i < n; ++i) {
-      if (QueryMintsBlanks(q.branches[i])) {
+      if (dup_of[i] == i && QueryMintsBlanks(q.branches[i])) {
         parts[i].emplace(eval_branch(q.branches[i]));
       }
     }
     group.Wait();
   } else {
-    for (size_t i = 0; i < n; ++i) parts[i].emplace(eval_branch(q.branches[i]));
+    for (size_t i = 0; i < n; ++i) {
+      if (dup_of[i] == i) parts[i].emplace(eval_branch(q.branches[i]));
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (dup_of[i] != i) parts[i] = parts[dup_of[i]];
   }
 
   std::vector<Graph> all;
@@ -525,6 +609,21 @@ Result<std::vector<Graph>> DatabaseSnapshot::PreAnswer(const Query& q) const {
                           views_.version, views_.erase_stamp);
   }
   return pre;
+}
+
+std::vector<Result<std::vector<Graph>>> DatabaseSnapshot::PreAnswerBatch(
+    const std::vector<Query>& queries, BatchStats* stats_out) const {
+  // The pipeline probes the view cache before calling the normalized
+  // lambda, so a fully-hit batch skips the lazy nf build — the same
+  // short-circuit the sequential snapshot PreAnswer has per query.
+  BatchStats stats;
+  std::vector<Result<std::vector<Graph>>> out = PreAnswerBatchImpl(
+      queries, evaluator_, [this]() -> const Graph& { return normalized(); },
+      [this](const Query& q) { return evaluator_->PreAnswer(q, *data_); },
+      views_, options_.match.pool, options_.match, &stats);
+  AccumulateBatchStats(stats, stats_);
+  if (stats_out != nullptr) *stats_out = stats;
+  return out;
 }
 
 }  // namespace swdb

@@ -12,6 +12,7 @@
 #include "inference/closure.h"
 #include "normal/core.h"
 #include "query/answer.h"
+#include "query/batch.h"
 #include "query/query.h"
 #include "rdf/graph.h"
 #include "rdf/term.h"
@@ -78,6 +79,24 @@ struct DatabaseStats {
   /// CollectStats.
   ViewCacheStats views;
 
+  /// Batched multi-query evaluation (PreAnswerBatch, writer and
+  /// snapshots): cumulative BatchStats sums plus the call count. See
+  /// query/batch.h for the per-field meanings.
+  std::atomic<uint64_t> batch_calls{0};
+  std::atomic<uint64_t> batch_queries{0};
+  std::atomic<uint64_t> batch_deduped{0};
+  std::atomic<uint64_t> batch_premise_fallthroughs{0};
+  std::atomic<uint64_t> batch_minting_fallthroughs{0};
+  std::atomic<uint64_t> batch_view_hits{0};
+  std::atomic<uint64_t> batch_trie_groups{0};
+  std::atomic<uint64_t> batch_solo_groups{0};
+  std::atomic<uint64_t> batch_prefix_hits{0};
+  std::atomic<uint64_t> batch_shared_reused{0};
+  std::atomic<uint64_t> batch_limit_exceeded{0};
+  /// Union-query fan-outs: branches served by another branch's
+  /// evaluation through the same ViewKey grouping the batch path uses.
+  std::atomic<uint64_t> union_branches_deduped{0};
+
   DatabaseStats() = default;
   DatabaseStats(const DatabaseStats& o) { *this = o; }
   DatabaseStats& operator=(const DatabaseStats& o) {
@@ -110,6 +129,23 @@ struct DatabaseStats {
         o.publish_leaves_shared.load(std::memory_order_relaxed);
     publish_leaves_copied =
         o.publish_leaves_copied.load(std::memory_order_relaxed);
+    batch_calls = o.batch_calls.load(std::memory_order_relaxed);
+    batch_queries = o.batch_queries.load(std::memory_order_relaxed);
+    batch_deduped = o.batch_deduped.load(std::memory_order_relaxed);
+    batch_premise_fallthroughs =
+        o.batch_premise_fallthroughs.load(std::memory_order_relaxed);
+    batch_minting_fallthroughs =
+        o.batch_minting_fallthroughs.load(std::memory_order_relaxed);
+    batch_view_hits = o.batch_view_hits.load(std::memory_order_relaxed);
+    batch_trie_groups = o.batch_trie_groups.load(std::memory_order_relaxed);
+    batch_solo_groups = o.batch_solo_groups.load(std::memory_order_relaxed);
+    batch_prefix_hits = o.batch_prefix_hits.load(std::memory_order_relaxed);
+    batch_shared_reused =
+        o.batch_shared_reused.load(std::memory_order_relaxed);
+    batch_limit_exceeded =
+        o.batch_limit_exceeded.load(std::memory_order_relaxed);
+    union_branches_deduped =
+        o.union_branches_deduped.load(std::memory_order_relaxed);
     data_graph = o.data_graph;
     closure_graph = o.closure_graph;
     dictionary = o.dictionary;
@@ -185,6 +221,16 @@ class DatabaseSnapshot {
   /// the offer if the writer has moved on). See the class comment for
   /// the premise-bearing caveat.
   Result<std::vector<Graph>> PreAnswer(const Query& q) const;
+  /// Single answers for a whole batch of queries against this one
+  /// snapshot, slot for slot bit-identical to calling PreAnswer on each
+  /// in order (same answers, same order, same Skolem mints) at any
+  /// worker count. Isomorphic shapes are answered once and replayed per
+  /// spelling; survivors share prefix enumeration through the batch
+  /// trie (see query/batch.h). A batch fully served by the view cache
+  /// skips even the lazy nf build. Premise-bearing slots serialize with
+  /// the writer exactly like PreAnswer on them would.
+  std::vector<Result<std::vector<Graph>>> PreAnswerBatch(
+      const std::vector<Query>& queries, BatchStats* stats_out = nullptr) const;
 
  private:
   friend class Database;
@@ -307,6 +353,16 @@ class Database {
   /// MatchOptions::pool, branches fan out over it with pinned merge
   /// order — the result is bit-identical at any worker count.
   Result<std::vector<Graph>> PreAnswer(const UnionQuery& q);
+  /// Single answers for a whole batch of queries, slot for slot
+  /// bit-identical to calling PreAnswer on each in order (same answers,
+  /// same order, same Skolem mints, same dictionary end state) at any
+  /// worker count. One normalized graph is pinned for the batch;
+  /// isomorphic shapes are answered once and replayed per spelling; the
+  /// survivors share prefix enumeration through the batch trie, whose
+  /// root subtrees fan out over MatchOptions::pool (see query/batch.h).
+  /// Writer-thread only, like PreAnswer.
+  std::vector<Result<std::vector<Graph>>> PreAnswerBatch(
+      const std::vector<Query>& queries, BatchStats* stats_out = nullptr);
   /// ans∪(q, D). Shares one PreAnswer materialization with any earlier
   /// PreAnswer/AnswerMerge of the same shape through the view layer
   /// instead of re-running the matcher.

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <optional>
+#include <unordered_map>
 
 #include "query/containment.h"
 #include "query/premise.h"
+#include "query/view_key.h"
 #include "util/thread_pool.h"
 
 namespace swdb {
@@ -63,6 +65,22 @@ Result<std::vector<Graph>> PreAnswerUnionQuery(QueryEvaluator* evaluator,
                                                const UnionQuery& q,
                                                const Graph& db) {
   const size_t n = q.branches.size();
+  // Dedupe isomorphic premise-free branches by ViewKey: equal keys
+  // share one canonical spelling, so the leader's pre-answers are
+  // bit-identical to what the duplicate's own evaluation would return
+  // (head-blank branches key on their exact spelling, and a sequential
+  // re-evaluation would hit the Skolem cache — replaying the earlier
+  // leader preserves the mint sequence). Premise-bearing branches
+  // never dedupe: the D + P merge mints fresh blanks per call.
+  std::vector<size_t> dup_of(n);
+  std::unordered_map<ViewKey, size_t, ViewKeyHash> leader_of;
+  for (size_t i = 0; i < n; ++i) {
+    dup_of[i] = i;
+    if (!q.branches[i].premise.empty()) continue;
+    ViewKey key = MakeViewKey(q.branches[i]);
+    auto [it, inserted] = leader_of.try_emplace(std::move(key), i);
+    if (!inserted) dup_of[i] = it->second;
+  }
   std::vector<std::optional<Result<std::vector<Graph>>>> parts(n);
   ThreadPool* pool = evaluator->options().match.pool;
   if (pool != nullptr && n > 1) {
@@ -74,22 +92,25 @@ Result<std::vector<Graph>> PreAnswerUnionQuery(QueryEvaluator* evaluator,
     // cache.
     TaskGroup group(pool);
     for (size_t i = 0; i < n; ++i) {
-      if (!BranchMintsBlanks(q.branches[i])) {
+      if (dup_of[i] == i && !BranchMintsBlanks(q.branches[i])) {
         group.Run([&parts, evaluator, &q, &db, i] {
           parts[i].emplace(evaluator->PreAnswer(q.branches[i], db));
         });
       }
     }
     for (size_t i = 0; i < n; ++i) {
-      if (BranchMintsBlanks(q.branches[i])) {
+      if (dup_of[i] == i && BranchMintsBlanks(q.branches[i])) {
         parts[i].emplace(evaluator->PreAnswer(q.branches[i], db));
       }
     }
     group.Wait();
   } else {
     for (size_t i = 0; i < n; ++i) {
-      parts[i].emplace(evaluator->PreAnswer(q.branches[i], db));
+      if (dup_of[i] == i) parts[i].emplace(evaluator->PreAnswer(q.branches[i], db));
     }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (dup_of[i] != i) parts[i] = parts[dup_of[i]];
   }
 
   std::vector<Graph> all;

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+
 #include "cq/cq.h"
 #include "inference/closure.h"
 #include "query/answer.h"
+#include "query/view_key.h"
 
 namespace swdb {
 namespace {
@@ -105,6 +108,57 @@ TEST(Generators, EquivalentMutationPreservesEquivalence) {
     EXPECT_TRUE(RdfsEquivalent(g, mutated)) << "round " << round;
     EXPECT_GE(mutated.size(), g.size());
   }
+}
+
+TEST(Generators, OverlappingQueryMixShapeAndValidity) {
+  Rng rng(47);
+  Dictionary dict;
+  RandomGraphSpec gspec;
+  gspec.num_nodes = 30;
+  gspec.num_triples = 80;
+  gspec.blank_ratio = 0.0;
+  Graph data = RandomSimpleGraph(gspec, &dict, &rng);
+  QueryMixSpec spec;
+  spec.num_families = 4;
+  spec.queries_per_family = 6;
+  spec.prefix_size = 2;
+  spec.suffix_size = 2;
+  std::vector<Query> mix = OverlappingQueryMix(data, spec, &dict, &rng);
+  ASSERT_EQ(mix.size(), 24u);
+  QueryEvaluator eval(&dict);
+  for (size_t i = 0; i < mix.size(); ++i) {
+    const Query& q = mix[i];
+    ASSERT_TRUE(q.Validate().ok()) << i << ": " << q.Validate().ToString();
+    EXPECT_TRUE(q.premise.empty());
+    EXPECT_EQ(q.head.triples(), q.body.triples());
+    EXPECT_GE(q.body.size(), spec.prefix_size);
+    // Every query matches its source graph somewhere.
+    Result<std::vector<Graph>> pre = eval.PreAnswer(q, data);
+    ASSERT_TRUE(pre.ok()) << i;
+    EXPECT_FALSE(pre->empty()) << i;
+  }
+}
+
+TEST(Generators, OverlappingQueryMixContainsIsomorphicRespellings) {
+  Rng rng(48);
+  Dictionary dict;
+  RandomGraphSpec gspec;
+  gspec.num_nodes = 25;
+  gspec.num_triples = 60;
+  gspec.blank_ratio = 0.0;
+  Graph data = RandomSimpleGraph(gspec, &dict, &rng);
+  QueryMixSpec spec;
+  spec.num_families = 6;
+  spec.queries_per_family = 8;
+  spec.isomorphic_fraction = 0.5;
+  std::vector<Query> mix = OverlappingQueryMix(data, spec, &dict, &rng);
+  // Group by canonical ViewKey: with a 0.5 respelling fraction some
+  // queries must collapse onto an earlier variant's key, and distinct
+  // suffixes must keep the mix from collapsing to one key per family.
+  std::unordered_map<ViewKey, size_t, ViewKeyHash> groups;
+  for (const Query& q : mix) ++groups[MakeViewKey(q)];
+  EXPECT_LT(groups.size(), mix.size());
+  EXPECT_GT(groups.size(), spec.num_families);
 }
 
 }  // namespace
