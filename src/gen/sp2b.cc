@@ -1,0 +1,201 @@
+#include "gen/sp2b.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/str.h"
+
+namespace swdb {
+
+namespace {
+// A small slack on top of the target so GenerateCorpus rarely
+// reallocates: one year of venues plus one maximal publication.
+constexpr size_t kReserveSlack = 128;
+}  // namespace
+
+Sp2bGenerator::Sp2bGenerator(const Sp2bSpec& spec, Dictionary* dict)
+    : spec_(spec),
+      dict_(dict),
+      rng_(spec.seed),
+      year_(spec.start_year),
+      papers_per_year_(spec.base_papers_per_year < 1
+                           ? 1.0
+                           : static_cast<double>(spec.base_papers_per_year)) {
+  vocab_.document = dict_->Iri("sp2b:Document");
+  vocab_.publication = dict_->Iri("sp2b:Publication");
+  vocab_.article = dict_->Iri("sp2b:Article");
+  vocab_.inproceedings = dict_->Iri("sp2b:Inproceedings");
+  vocab_.journal = dict_->Iri("sp2b:Journal");
+  vocab_.proceedings = dict_->Iri("sp2b:Proceedings");
+  vocab_.person = dict_->Iri("sp2b:Person");
+  vocab_.creator = dict_->Iri("sp2b:creator");
+  vocab_.first_author = dict_->Iri("sp2b:firstAuthor");
+  vocab_.references = dict_->Iri("sp2b:references");
+  vocab_.venue = dict_->Iri("sp2b:venue");
+  vocab_.issued = dict_->Iri("sp2b:issued");
+  vocab_.editor = dict_->Iri("sp2b:editor");
+}
+
+Term Sp2bGenerator::YearTerm(uint32_t year) {
+  return dict_->Iri(NumberedName("sp2b:year", year));
+}
+
+void Sp2bGenerator::EmitSchema(std::vector<Triple>* out) {
+  const Sp2bVocab& v = vocab_;
+  // Class tree.
+  out->push_back(Triple(v.publication, vocab::kSc, v.document));
+  out->push_back(Triple(v.article, vocab::kSc, v.publication));
+  out->push_back(Triple(v.inproceedings, vocab::kSc, v.publication));
+  out->push_back(Triple(v.journal, vocab::kSc, v.document));
+  out->push_back(Triple(v.proceedings, vocab::kSc, v.document));
+  // Property tree: firstAuthor refines creator, so rule (sp) derives a
+  // creator edge for every firstAuthor edge.
+  out->push_back(Triple(v.first_author, vocab::kSp, v.creator));
+  // Domains and ranges: rules (dom)/(range) type every paper, person
+  // and venue from the instance edges alone.
+  out->push_back(Triple(v.creator, vocab::kDom, v.publication));
+  out->push_back(Triple(v.creator, vocab::kRange, v.person));
+  out->push_back(Triple(v.references, vocab::kDom, v.publication));
+  out->push_back(Triple(v.references, vocab::kRange, v.publication));
+  out->push_back(Triple(v.venue, vocab::kDom, v.publication));
+  out->push_back(Triple(v.editor, vocab::kDom, v.document));
+  out->push_back(Triple(v.editor, vocab::kRange, v.person));
+}
+
+Term Sp2bGenerator::DrawAuthor(std::vector<Triple>* out) {
+  if (authors_.empty() || rng_.Chance(spec_.new_author_chance)) {
+    const uint64_t id = next_author_id_++;
+    const Term a = rng_.Chance(spec_.blank_author_fraction)
+                       ? dict_->Blank(NumberedName("sp2b_author", id))
+                       : dict_->Iri(NumberedName("sp2b:author", id));
+    const uint32_t idx = static_cast<uint32_t>(authors_.size());
+    authors_.push_back(a);
+    author_urn_.push_back(idx);
+    out->push_back(Triple(a, vocab::kType, vocab_.person));
+    return a;
+  }
+  const uint32_t idx = author_urn_[rng_.Below(author_urn_.size())];
+  author_urn_.push_back(idx);  // rich get richer
+  return authors_[idx];
+}
+
+void Sp2bGenerator::EmitYearVenues(std::vector<Triple>* out) {
+  const Term yr = YearTerm(year_);
+  year_journals_.clear();
+  year_proceedings_.clear();
+  for (uint32_t i = 0; i < spec_.journals_per_year; ++i) {
+    const Term j = dict_->Iri(NumberedName("sp2b:journal", next_venue_id_++));
+    out->push_back(Triple(j, vocab::kType, vocab_.journal));
+    out->push_back(Triple(j, vocab_.issued, yr));
+    out->push_back(Triple(j, vocab_.editor, DrawAuthor(out)));
+    journals_.push_back(j);
+    year_journals_.push_back(j);
+  }
+  for (uint32_t i = 0; i < spec_.proceedings_per_year; ++i) {
+    const Term p =
+        dict_->Iri(NumberedName("sp2b:proceedings", next_venue_id_++));
+    out->push_back(Triple(p, vocab::kType, vocab_.proceedings));
+    out->push_back(Triple(p, vocab_.issued, yr));
+    out->push_back(Triple(p, vocab_.editor, DrawAuthor(out)));
+    proceedings_.push_back(p);
+    year_proceedings_.push_back(p);
+  }
+}
+
+void Sp2bGenerator::EmitPaper(std::vector<Triple>* out) {
+  const bool is_article =
+      !year_journals_.empty() &&
+      (year_proceedings_.empty() || rng_.Chance(spec_.article_fraction));
+  const Term paper = dict_->Iri(NumberedName("sp2b:paper", next_paper_id_++));
+  out->push_back(Triple(
+      paper, vocab::kType, is_article ? vocab_.article : vocab_.inproceedings));
+  out->push_back(Triple(paper, vocab_.issued, YearTerm(year_)));
+  const std::vector<Term>& venues =
+      is_article ? year_journals_ : year_proceedings_;
+  if (!venues.empty()) {
+    out->push_back(
+        Triple(paper, vocab_.venue, venues[rng_.Below(venues.size())]));
+  }
+
+  // Author list: 1 + Geometric(author_tail_chance), capped; duplicate
+  // urn draws collapse so the list is a set.
+  uint32_t want_authors = 1;
+  while (want_authors < spec_.max_authors_per_paper &&
+         rng_.Chance(spec_.author_tail_chance)) {
+    ++want_authors;
+  }
+  Term coauthors[/*max_authors_per_paper bound*/ 64];
+  uint32_t n_authors = 0;
+  for (uint32_t i = 0; i < want_authors && i < 64; ++i) {
+    const Term a = DrawAuthor(out);
+    bool dup = false;
+    for (uint32_t j = 0; j < n_authors; ++j) dup = dup || coauthors[j] == a;
+    if (dup) continue;
+    coauthors[n_authors++] = a;
+    out->push_back(
+        Triple(paper, i == 0 ? vocab_.first_author : vocab_.creator, a));
+  }
+
+  // Citations: Geometric(citation_tail_chance) targets drawn from the
+  // urn of already-emitted papers — preferential attachment, and no
+  // dangling targets (the urn never holds this paper yet).
+  if (!citation_urn_.empty()) {
+    uint32_t want_cites = 0;
+    while (want_cites < spec_.max_citations_per_paper &&
+           rng_.Chance(spec_.citation_tail_chance)) {
+      ++want_cites;
+    }
+    uint32_t targets[/*max_citations_per_paper bound*/ 64];
+    uint32_t n_cites = 0;
+    for (uint32_t i = 0; i < want_cites && i < 64; ++i) {
+      const uint32_t idx = citation_urn_[rng_.Below(citation_urn_.size())];
+      bool dup = false;
+      for (uint32_t j = 0; j < n_cites; ++j) dup = dup || targets[j] == idx;
+      if (dup) continue;
+      targets[n_cites++] = idx;
+      out->push_back(Triple(paper, vocab_.references, papers_[idx]));
+      citation_urn_.push_back(idx);  // rich get richer
+    }
+  }
+
+  const uint32_t self = static_cast<uint32_t>(papers_.size());
+  papers_.push_back(paper);
+  citation_urn_.push_back(self);
+}
+
+void Sp2bGenerator::Emit(size_t min, std::vector<Triple>* out) {
+  const size_t start = out->size();
+  while (out->size() - start < min) {
+    if (papers_left_in_year_ == 0) {
+      if (!schema_emitted_) {
+        EmitSchema(out);
+        schema_emitted_ = true;
+      } else {
+        ++year_;
+      }
+      papers_left_in_year_ =
+          static_cast<uint32_t>(papers_per_year_ < 1.0 ? 1.0 : papers_per_year_);
+      papers_per_year_ *= spec_.yearly_growth;
+      EmitYearVenues(out);
+    }
+    EmitPaper(out);
+    --papers_left_in_year_;
+  }
+  emitted_ += out->size() - start;
+}
+
+Graph Sp2bGenerator::GenerateCorpus() {
+  std::vector<Triple> v;
+  v.reserve(static_cast<size_t>(spec_.target_triples) + kReserveSlack);
+  Emit(static_cast<size_t>(spec_.target_triples), &v);
+  return Graph(std::move(v));
+}
+
+std::vector<Triple> Sp2bGenerator::NextPublications(size_t min_triples) {
+  std::vector<Triple> v;
+  v.reserve(min_triples + kReserveSlack);
+  Emit(min_triples, &v);
+  return v;
+}
+
+}  // namespace swdb

@@ -1,0 +1,165 @@
+#ifndef SWDB_GEN_SP2B_H_
+#define SWDB_GEN_SP2B_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "rdf/term.h"
+#include "rdf/triple.h"
+#include "util/rng.h"
+
+namespace swdb {
+
+/// Parameters of the SP²Bench-style DBLP-shaped corpus (Schmidt et al.,
+/// arXiv:0806.4627, adapted to this library's IRI/blank model — no
+/// literals, years and titles are IRIs).
+///
+/// The corpus is year-partitioned: publications are generated year by
+/// year with a geometrically growing yearly volume, venues (journals,
+/// proceedings) are minted per year, and authorship / citation targets
+/// are drawn by Pólya-urn preferential attachment so author degrees and
+/// citation in-degrees follow the scale-free distributions SP²Bench
+/// measured on real DBLP. Generation is deterministic given the spec
+/// (the seed is part of it) and the dictionary state.
+struct Sp2bSpec {
+  /// Stop once at least this many triples have been emitted (the
+  /// overshoot is at most one publication's triples, well under 1%).
+  uint64_t target_triples = 1'000'000;
+  uint64_t seed = 1;
+
+  uint32_t start_year = 1950;
+  /// Publications in the first year; later years grow geometrically.
+  uint32_t base_papers_per_year = 40;
+  double yearly_growth = 1.12;
+  /// Fraction of publications that are journal articles (the rest are
+  /// inproceedings).
+  double article_fraction = 0.6;
+  /// Venues minted per year.
+  uint32_t journals_per_year = 2;
+  uint32_t proceedings_per_year = 3;
+
+  /// Chance that an author slot mints a brand-new author instead of
+  /// drawing from the preferential-attachment urn.
+  double new_author_chance = 0.35;
+  /// Author-list length is 1 + Geometric(author_tail_chance), capped.
+  double author_tail_chance = 0.55;
+  uint32_t max_authors_per_paper = 8;
+  /// Fraction of newly minted authors that are blank nodes (anonymous
+  /// authors). Zero keeps the corpus ground, which keeps nf(D) = cl(D)
+  /// and makes serving-scale core builds trivial.
+  double blank_author_fraction = 0.0;
+
+  /// Outgoing-citation count is Geometric(citation_tail_chance), capped
+  /// (and further capped by the number of existing papers). Targets are
+  /// drawn preferentially, so in-degrees are power-law.
+  double citation_tail_chance = 0.75;
+  uint32_t max_citations_per_paper = 24;
+};
+
+/// The interned vocabulary of the corpus: classes wired into an
+/// rdfs:subClassOf tree, properties with dom/range assertions, and one
+/// sp edge (firstAuthor sp creator) so the RDFS rules have real work.
+struct Sp2bVocab {
+  // Classes.
+  Term document, publication, article, inproceedings, journal, proceedings,
+      person;
+  // Properties.
+  Term creator;       ///< publication -> author
+  Term first_author;  ///< publication -> author; sp creator
+  Term references;    ///< publication -> publication (citation)
+  Term venue;         ///< publication -> journal / proceedings
+  Term issued;        ///< publication or venue -> year
+  Term editor;        ///< venue -> author
+};
+
+/// Deterministic, seedable scale-free DBLP-style triple generator.
+///
+/// Usage:
+///   Sp2bGenerator gen(spec, &dict);
+///   Graph corpus = gen.GenerateCorpus();          // >= target_triples
+///   std::vector<Triple> delta = gen.NextPublications(256);  // stream
+///
+/// NextPublications continues the year sequence past the corpus — the
+/// writer stream of a serving run appends "new publications" whose
+/// citations still point at existing papers only. Entity pools
+/// (authors(), papers(), ...) grow as generation proceeds; callers that
+/// share them with concurrent readers must copy them while the
+/// generator is quiescent.
+class Sp2bGenerator {
+ public:
+  /// Interns the vocabulary and schema terms; emits no triples yet.
+  /// The dictionary must outlive the generator.
+  Sp2bGenerator(const Sp2bSpec& spec, Dictionary* dict);
+
+  /// The schema plus publications up to spec.target_triples, as one
+  /// graph. Call at most once, before any NextPublications.
+  Graph GenerateCorpus();
+
+  /// Generates publications until at least `min_triples` new triples
+  /// exist (whole publications only, so the result overshoots by at
+  /// most one publication). Returns the new triples.
+  std::vector<Triple> NextPublications(size_t min_triples);
+
+  const Sp2bSpec& spec() const { return spec_; }
+  const Sp2bVocab& vocab() const { return vocab_; }
+
+  /// Entity pools in mint order (stable prefixes: existing entries
+  /// never move as generation proceeds).
+  const std::vector<Term>& authors() const { return authors_; }
+  const std::vector<Term>& papers() const { return papers_; }
+  const std::vector<Term>& journals() const { return journals_; }
+  const std::vector<Term>& proceedings() const { return proceedings_; }
+
+  /// The interned year IRI (years are entities here, not literals).
+  Term YearTerm(uint32_t year);
+  /// The year the next publication will be issued in.
+  uint32_t current_year() const { return year_; }
+  /// Triples emitted so far (schema included once GenerateCorpus or the
+  /// first NextPublications ran).
+  uint64_t triples_emitted() const { return emitted_; }
+
+ private:
+  void EmitSchema(std::vector<Triple>* out);
+  void EmitPaper(std::vector<Triple>* out);
+  void EmitYearVenues(std::vector<Triple>* out);
+  // One author slot: fresh mint or preferential draw.
+  Term DrawAuthor(std::vector<Triple>* out);
+  // Appends whole publications (advancing years) until `min` new
+  // triples were emitted into *out.
+  void Emit(size_t min, std::vector<Triple>* out);
+
+  Sp2bSpec spec_;
+  Dictionary* dict_;
+  Sp2bVocab vocab_;
+  Rng rng_;
+
+  bool schema_emitted_ = false;
+  uint64_t emitted_ = 0;
+
+  uint32_t year_;
+  uint32_t papers_left_in_year_ = 0;  // 0 forces a year advance
+  double papers_per_year_;
+
+  std::vector<Term> authors_;
+  std::vector<Term> papers_;
+  std::vector<Term> journals_;
+  std::vector<Term> proceedings_;
+  // Per-year venue pools the current year's publications draw from.
+  std::vector<Term> year_journals_;
+  std::vector<Term> year_proceedings_;
+
+  // Pólya urns: one entry per authorship / citation event plus one per
+  // mint, so uniform draws are preferential-attachment draws.
+  std::vector<uint32_t> author_urn_;    // indexes into authors_
+  std::vector<uint32_t> citation_urn_;  // indexes into papers_
+
+  uint64_t next_author_id_ = 0;
+  uint64_t next_paper_id_ = 0;
+  uint64_t next_venue_id_ = 0;
+};
+
+}  // namespace swdb
+
+#endif  // SWDB_GEN_SP2B_H_

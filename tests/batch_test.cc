@@ -362,6 +362,73 @@ TEST(BatchParity, BudgetExhaustionPoisonsOnlyTheExhaustedGroups) {
   EXPECT_EQ(stats.limit_exceeded, 2u);
 }
 
+TEST(BatchParity, BudgetExhaustionMidTriePoisonsTerminalSharers) {
+  // Exhaustion *inside* the shared-prefix walk, below the root level.
+  // The 2-hop query's whole body lies on the shared prefix, so it is a
+  // trie terminal and never spends a single group step — the only way
+  // it can fail is the subtree's shared step pot overflowing mid-walk
+  // and poisoning every sharer. The 3-hop query shares the expensive
+  // [e, p] prefix and differs only in its residual suffix.
+  Dictionary dict;
+  EvalOptions options;
+  options.match.max_steps = 300;
+  Database db(&dict, options);
+  Graph data;
+  const Term e = dict.Iri("e");
+  const Term p = dict.Iri("p");
+  const Term t = dict.Iri("t");
+  // |e| = 5 < |p| = 500 < |t| = 600: the static most-constrained-first
+  // order puts e then p in front for both queries, aligning their trie
+  // prefixes; enumerating that prefix alone costs 505 > 300 steps.
+  for (int i = 0; i < 5; ++i) {
+    const Term x = dict.Iri("x" + std::to_string(i));
+    const Term y = dict.Iri("y" + std::to_string(i));
+    data.Insert(x, e, y);
+    for (int j = 0; j < 100; ++j) {
+      data.Insert(y, p,
+                  dict.Iri("z" + std::to_string(i) + "_" + std::to_string(j)));
+    }
+  }
+  // Bulk t-triples over nodes disjoint from every z: heavy enough to
+  // sort after p, yet the residual probe Matches(z, t, *) is empty, so
+  // the 3-hop group's own budget survives until the pot blows.
+  for (int k = 0; k < 600; ++k) {
+    const Term w = dict.Iri("w" + std::to_string(k));
+    data.Insert(w, t, w);
+  }
+  data.Insert(dict.Iri("lone"), dict.Iri("q"), dict.Iri("peak"));
+  db.InsertGraph(data);
+
+  std::vector<Query> batch;
+  batch.push_back(Q(&dict,
+                    "head: ?X r ?Z .\n"
+                    "body: ?X e ?Y .\nbody: ?Y p ?Z .\n"));
+  batch.push_back(Q(&dict,
+                    "head: ?X r2 ?W .\n"
+                    "body: ?X e ?Y .\nbody: ?Y p ?Z .\nbody: ?Z t ?W .\n"));
+  batch.push_back(Q(&dict, "head: ?X slim ?Y .\nbody: ?X q ?Y .\n"));
+
+  std::vector<Result<std::vector<Graph>>> expected;
+  for (const Query& q : batch) expected.push_back(db.PreAnswer(q));
+  ASSERT_FALSE(expected[0].ok());
+  ASSERT_FALSE(expected[1].ok());
+  ASSERT_TRUE(expected[2].ok());
+
+  BatchStats stats;
+  std::vector<Result<std::vector<Graph>>> results =
+      db.PreAnswerBatch(batch, &stats);
+  EXPECT_EQ(results[0].status().code(), StatusCode::kLimitExceeded);
+  EXPECT_EQ(results[1].status().code(), StatusCode::kLimitExceeded);
+  ASSERT_TRUE(results[2].ok());
+  EXPECT_EQ(*results[2], *expected[2]);
+  EXPECT_EQ(stats.limit_exceeded, 2u);
+  // Both hop queries went through the trie (no solo handoff for them),
+  // and the walk got well past the 5 root-level e-candidates before the
+  // pot blew — exhaustion happened in a nested Extend, not at the root.
+  EXPECT_EQ(stats.trie_groups, 2u);
+  EXPECT_GT(stats.prefix_hits, 50u);
+}
+
 TEST(UnionDedupe, IsomorphicBranchesEvaluateOnce) {
   const std::string text = "a p b .\nb p c .\nc q d .\nx type a .\n";
   auto build = [](Dictionary* d) {

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "cq/cq.h"
+#include "gen/sp2b.h"
 #include "inference/closure.h"
 #include "query/answer.h"
 #include "query/view_key.h"
@@ -159,6 +162,119 @@ TEST(Generators, OverlappingQueryMixContainsIsomorphicRespellings) {
   for (const Query& q : mix) ++groups[MakeViewKey(q)];
   EXPECT_LT(groups.size(), mix.size());
   EXPECT_GT(groups.size(), spec.num_families);
+}
+
+// ---------------------------------------------------------------------
+// sp2b: the SP²Bench-style DBLP-shaped serving corpus.
+
+Sp2bSpec SmallSp2b(uint64_t target, uint64_t seed) {
+  Sp2bSpec spec;
+  spec.target_triples = target;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(Sp2b, SameSeedSameCorpusAndStream) {
+  Dictionary d1, d2;
+  Sp2bGenerator g1(SmallSp2b(10000, 5), &d1);
+  Sp2bGenerator g2(SmallSp2b(10000, 5), &d2);
+  EXPECT_EQ(g1.GenerateCorpus(), g2.GenerateCorpus());
+  // The writer stream continues deterministically too.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(g1.NextPublications(500), g2.NextPublications(500));
+  }
+  EXPECT_EQ(g1.triples_emitted(), g2.triples_emitted());
+  EXPECT_EQ(g1.authors().size(), g2.authors().size());
+}
+
+TEST(Sp2b, DifferentSeedsDiffer) {
+  Dictionary d1, d2;
+  Sp2bGenerator g1(SmallSp2b(10000, 5), &d1);
+  Sp2bGenerator g2(SmallSp2b(10000, 6), &d2);
+  EXPECT_NE(g1.GenerateCorpus(), g2.GenerateCorpus());
+}
+
+TEST(Sp2b, HitsTripleTargetWithinOnePercent) {
+  for (const uint64_t target : {uint64_t{10000}, uint64_t{100000}}) {
+    Dictionary dict;
+    Sp2bGenerator gen(SmallSp2b(target, 1), &dict);
+    const Graph corpus = gen.GenerateCorpus();
+    EXPECT_GE(corpus.size(), target);
+    EXPECT_LE(corpus.size(), target + target / 100)
+        << "overshoot above 1% at target " << target;
+    // The emitted stream had no duplicate triples.
+    EXPECT_EQ(corpus.size(), gen.triples_emitted());
+  }
+}
+
+TEST(Sp2b, MaxAuthorDegreeGrowsWithCorpusSize) {
+  auto max_degree = [](uint64_t target) {
+    Dictionary dict;
+    Sp2bGenerator gen(SmallSp2b(target, 1), &dict);
+    const Graph corpus = gen.GenerateCorpus();
+    const Sp2bVocab& v = gen.vocab();
+    std::unordered_map<Term, size_t> degree;
+    for (const Triple& t : corpus) {
+      if (t.p == v.creator || t.p == v.first_author) degree[t.o] += 1;
+    }
+    size_t best = 0;
+    for (const auto& [author, d] : degree) best = std::max(best, d);
+    return best;
+  };
+  const size_t at_10k = max_degree(10000);
+  const size_t at_100k = max_degree(100000);
+  // Preferential attachment: the most prolific author's degree must
+  // keep growing with corpus size (a uniform-attachment corpus would
+  // plateau near the mean).
+  EXPECT_GT(at_10k, 10u);
+  EXPECT_GT(at_100k, 2 * at_10k);
+}
+
+TEST(Sp2b, NoDanglingCitationsAndWellFormed) {
+  for (const uint64_t target : {uint64_t{10000}, uint64_t{100000}}) {
+    Dictionary dict;
+    Sp2bGenerator gen(SmallSp2b(target, 3), &dict);
+    const Graph corpus = gen.GenerateCorpus();
+    const Sp2bVocab& v = gen.vocab();
+    std::unordered_set<Term> papers;
+    for (const Triple& t : corpus) {
+      ASSERT_TRUE(t.IsWellFormedData());
+      if (t.p == vocab::kType &&
+          (t.o == v.article || t.o == v.inproceedings)) {
+        papers.insert(t.s);
+      }
+    }
+    EXPECT_EQ(papers.size(), gen.papers().size());
+    size_t citations = 0;
+    for (const Triple& t : corpus) {
+      if (t.p != v.references) continue;
+      ++citations;
+      ASSERT_TRUE(papers.count(t.s)) << "citation from a non-paper";
+      ASSERT_TRUE(papers.count(t.o)) << "dangling citation target";
+    }
+    EXPECT_GT(citations, target / 20);
+  }
+}
+
+TEST(Sp2b, StreamContinuesYearPartition) {
+  Dictionary dict;
+  Sp2bGenerator gen(SmallSp2b(5000, 7), &dict);
+  (void)gen.GenerateCorpus();
+  const uint32_t year_before = gen.current_year();
+  EXPECT_GT(year_before, gen.spec().start_year);
+  // New publications keep citing only already-existing papers.
+  const size_t papers_before = gen.papers().size();
+  const std::vector<Triple> delta = gen.NextPublications(2000);
+  EXPECT_GE(delta.size(), 2000u);
+  EXPECT_GE(gen.current_year(), year_before);
+  EXPECT_GT(gen.papers().size(), papers_before);
+  std::unordered_set<Term> all_papers(gen.papers().begin(),
+                                      gen.papers().end());
+  for (const Triple& t : delta) {
+    if (t.p == gen.vocab().references) {
+      EXPECT_TRUE(all_papers.count(t.o));
+    }
+  }
 }
 
 }  // namespace

@@ -240,6 +240,52 @@ TEST(ViewCacheDatabase, ErasePatchesAndStaysSound) {
   EXPECT_GE(stats.views.patch_removed, 1u);
 }
 
+TEST(ViewCacheDatabase, EraseEmptyingTheNfPatchesViewsToEmpty) {
+  // Maintain across an erase delta that removes *every* nf triple: the
+  // diff's removed set is the whole base nf, every stored matching loses
+  // its image, and the patched view must be the empty answer vector —
+  // not an invalidation, not a stale replay, not a crash on the empty
+  // added set.
+  Dictionary dict;
+  Database db(&dict, EagerViews());
+  ASSERT_TRUE(db.InsertText("a p b .\nb p c .\nc p d .\n").ok());
+  Query q = Q(&dict,
+              "head: ?X r ?Z .\n"
+              "body: ?X p ?Y .\nbody: ?Y p ?Z .\n");
+  Result<std::vector<Graph>> before = db.PreAnswer(q);
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before->size(), 2u);  // view installed with live matchings
+
+  const Term p = dict.Iri("p");
+  db.Erase(Triple(dict.Iri("a"), p, dict.Iri("b")));
+  db.Erase(Triple(dict.Iri("b"), p, dict.Iri("c")));
+  db.Erase(Triple(dict.Iri("c"), p, dict.Iri("d")));
+  EXPECT_EQ(db.size(), 0u);
+
+  Result<std::vector<Graph>> cached = db.PreAnswer(q);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(cached->empty());
+  Result<std::vector<Graph>> scratch = db.evaluator()->PreAnswer(q, db.graph());
+  ASSERT_TRUE(scratch.ok());
+  EXPECT_EQ(*cached, *scratch);
+
+  DatabaseStats stats = db.CollectStats();
+  EXPECT_GE(stats.views.patches, 1u);
+  EXPECT_GE(stats.views.patch_removed, 2u);
+  EXPECT_EQ(stats.views.invalidations, 0u);
+  EXPECT_EQ(stats.views.entries, 1u);  // the emptied view stays resident
+
+  // And the emptied view still patches back up when data returns.
+  ASSERT_TRUE(db.InsertText("a p b .\nb p c .\n").ok());
+  Result<std::vector<Graph>> revived = db.PreAnswer(q);
+  ASSERT_TRUE(revived.ok());
+  EXPECT_EQ(revived->size(), 1u);
+  Result<std::vector<Graph>> scratch2 =
+      db.evaluator()->PreAnswer(q, db.graph());
+  ASSERT_TRUE(scratch2.ok());
+  EXPECT_EQ(*revived, *scratch2);
+}
+
 TEST(ViewCacheDatabase, HeadBlankAnswersReplayTheSameSkolemMints) {
   Dictionary dict;
   Database db(&dict, EagerViews());
